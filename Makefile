@@ -1,0 +1,39 @@
+# Standard entry points; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures figures-quick fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Publication-quality data for every paper figure and ablation (~10 min).
+figures:
+	$(GO) run ./cmd/cos-figures -fig all -scale 1 -out results/
+
+figures-quick:
+	$(GO) run ./cmd/cos-figures -fig all -scale 0.1 -out results/
+
+fuzz:
+	$(GO) test ./internal/cos/ -run xxx -fuzz FuzzParseControl -fuzztime 30s
+	$(GO) test ./internal/cos/ -run xxx -fuzz FuzzIntervalRoundTrip -fuzztime 30s
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf results/

@@ -1,0 +1,206 @@
+package cos_test
+
+// Benchmarks, one per figure of the paper's evaluation plus the ablations
+// and the core PHY primitives. Each figure benchmark regenerates that
+// figure's data series at a reduced scale (benchScale); run
+// cmd/cos-figures at scale 1 for publication-quality sweeps.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"cos"
+	"cos/internal/channel"
+	"cos/internal/coding"
+	"cos/internal/dsp"
+	"cos/internal/experiments"
+	"cos/internal/modulation"
+	"cos/internal/phy"
+)
+
+// benchScale shrinks experiment sample sizes so the full benchmark suite
+// completes in minutes; shapes (who wins, where crossovers fall) persist.
+const benchScale = 0.05
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 {
+			b.Fatalf("%s: empty result", id)
+		}
+	}
+}
+
+// --- Paper figures -------------------------------------------------------
+
+func BenchmarkFig2SNRGap(b *testing.B)         { runFigure(b, "fig2") }
+func BenchmarkFig3DecoderBER(b *testing.B)     { runFigure(b, "fig3") }
+func BenchmarkFig5EVM(b *testing.B)            { runFigure(b, "fig5") }
+func BenchmarkFig6ErrorPattern(b *testing.B)   { runFigure(b, "fig6") }
+func BenchmarkFig7Temporal(b *testing.B)       { runFigure(b, "fig7") }
+func BenchmarkFig9Capacity(b *testing.B)       { runFigure(b, "fig9") }
+func BenchmarkFig10aMagnitudes(b *testing.B)   { runFigure(b, "fig10a") }
+func BenchmarkFig10bThreshold(b *testing.B)    { runFigure(b, "fig10b") }
+func BenchmarkFig10cAccuracy(b *testing.B)     { runFigure(b, "fig10c") }
+func BenchmarkFig10dInterference(b *testing.B) { runFigure(b, "fig10d") }
+
+// --- Ablations -----------------------------------------------------------
+
+func BenchmarkAblationEVD(b *testing.B)       { runFigure(b, "ablation-evd") }
+func BenchmarkAblationPlacement(b *testing.B) { runFigure(b, "ablation-placement") }
+func BenchmarkAblationThreshold(b *testing.B) { runFigure(b, "ablation-threshold") }
+func BenchmarkControlAccuracy(b *testing.B)   { runFigure(b, "accuracy") }
+
+// --- Core primitives -----------------------------------------------------
+
+func BenchmarkFFT64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dsp.FFTInPlace(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViterbiDecode1KB(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 8192+6)
+	for i := range data[:8192] {
+		data[i] = byte(rng.Intn(2))
+	}
+	coded, err := coding.ConvEncode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	metrics, err := coding.HardMetrics(coded, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := coding.Viterbi{Terminated: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(metrics); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoftDemap64QAM(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]complex128, 48)
+	for i := range pts {
+		pts[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, y := range pts {
+			if _, err := modulation.QAM64.SoftDemap(y, 0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTxChain1KB(b *testing.B) {
+	mode, err := phy.ModeByRate(24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	psdu := make([]byte, 1024)
+	rand.New(rand.NewSource(4)).Read(psdu)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, err := phy.BuildPacket(phy.TxConfig{Mode: mode}, psdu)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pkt.Samples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRxChain1KB(b *testing.B) {
+	mode, err := phy.ModeByRate(24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	psdu := make([]byte, 1024)
+	rng := rand.New(rand.NewSource(5))
+	rng.Read(psdu)
+	pkt, err := phy.BuildPacket(phy.TxConfig{Mode: mode}, psdu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := pkt.Samples()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := channel.PositionB.New(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := ch.FrequencyResponse(0)
+	nv, err := phy.NoiseVarForActualSNR(h, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := ch.Apply(samples, 0, nv, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fe, err := phy.RunFrontEnd(rx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fe.Decode(phy.DecodeConfig{Mode: mode, PSDULen: len(psdu)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkExchange(b *testing.B) {
+	link, err := cos.NewLink(cos.WithSNR(20), cos.WithSeed(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	if _, err := link.Send(data, nil); err != nil {
+		b.Fatal(err)
+	}
+	ctrl := make([]byte, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Follow the adaptive budget: it legitimately dips when the SNR
+		// report visits a 3/4-coded band.
+		maxBits, err := link.MaxControlBits(len(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := len(ctrl)
+		if n > maxBits {
+			n = maxBits / 4 * 4
+		}
+		if _, err := link.Send(data, ctrl[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationQuantization(b *testing.B) { runFigure(b, "ablation-quantization") }

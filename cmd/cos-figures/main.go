@@ -1,0 +1,85 @@
+// Command cos-figures regenerates the data behind every figure of the CoS
+// paper's evaluation (Figs. 2, 3, 5, 6, 7, 9, 10a-d) plus this repository's
+// ablations, printing long-format CSV.
+//
+// Usage:
+//
+//	cos-figures -list
+//	cos-figures -fig fig9 [-scale 0.2]
+//	cos-figures -fig all -scale 0.1 -out results/
+//
+// Scale 1 (default) is the publication-quality run; smaller scales shrink
+// packet counts proportionally for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cos/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "experiment ID (see -list) or 'all'")
+		scale = flag.Float64("scale", 1, "sample-size scale; 1 = publication quality")
+		out   = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
+		plot  = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cos-figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			if *plot {
+				if err := res.WritePlot(os.Stdout, 72, 20); err != nil {
+					fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+					os.Exit(1)
+				}
+			} else if err := res.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, id+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

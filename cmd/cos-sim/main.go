@@ -1,0 +1,158 @@
+// Command cos-sim runs a CoS link simulation and prints per-packet and
+// aggregate statistics: data PRR, control delivery rate, detection accuracy,
+// measured/actual SNR, and the achieved free-control-message rate.
+//
+// Usage:
+//
+//	cos-sim -snr 18 -position B -packets 200 -size 1024 -control 32
+//	cos-sim -snr 12 -mobile -interference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"cos"
+	"cos/internal/trace"
+)
+
+func positionByName(name string) (cos.Position, error) {
+	switch strings.ToUpper(name) {
+	case "A":
+		return cos.PositionA, nil
+	case "B":
+		return cos.PositionB, nil
+	case "C":
+		return cos.PositionC, nil
+	case "FLAT":
+		return cos.PositionFlat, nil
+	default:
+		return 0, fmt.Errorf("unknown position %q (want A, B, C or flat)", name)
+	}
+}
+
+func main() {
+	var (
+		snr      = flag.Float64("snr", 18, "true channel SNR in dB")
+		posName  = flag.String("position", "B", "receiver position: A, B, C or flat")
+		packets  = flag.Int("packets", 100, "packets to send")
+		size     = flag.Int("size", 1024, "payload size in bytes")
+		ctrlBits = flag.Int("control", 32, "control bits per packet (0 = data only; capped by budget)")
+		rate     = flag.Int("rate", 0, "fixed data rate in Mb/s (0 = SNR-based adaptation)")
+		mobile   = flag.Bool("mobile", false, "walking-speed mobile channel")
+		intf     = flag.Bool("interference", false, "inject strong pulse interference")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		verbose  = flag.Bool("v", false, "print each packet")
+		traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file")
+	)
+	flag.Parse()
+
+	pos, err := positionByName(*posName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+		os.Exit(2)
+	}
+	opts := []cos.Option{cos.WithPosition(pos), cos.WithSNR(*snr), cos.WithSeed(*seed)}
+	if *rate != 0 {
+		opts = append(opts, cos.WithFixedRate(*rate))
+	}
+	if *mobile {
+		opts = append(opts, cos.WithMobile())
+	}
+	if *intf {
+		opts = append(opts, cos.WithInterference(40, 160, 0.004))
+	}
+	link, err := cos.NewLink(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+		os.Exit(2)
+	}
+
+	var tw *trace.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		defer tw.Flush()
+	}
+
+	rng := rand.New(rand.NewSource(*seed + 1))
+	data := make([]byte, *size)
+	var (
+		dataOK, ctrlOK, ctrlSent      int
+		silences, fPos, fNeg, scanned int
+		ctrlBitsDelivered             int
+		measuredSum                   float64
+	)
+	for i := 0; i < *packets; i++ {
+		rng.Read(data)
+		var ctrl []byte
+		if *ctrlBits > 0 {
+			budget, err := link.MaxControlBits(len(data))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+				os.Exit(1)
+			}
+			n := *ctrlBits
+			if n > budget {
+				n = budget
+			}
+			n = n / 4 * 4
+			ctrl = make([]byte, n)
+			for j := range ctrl {
+				ctrl[j] = byte(rng.Intn(2))
+			}
+		}
+		ex, err := link.Send(data, ctrl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cos-sim: packet %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		if ex.DataOK {
+			dataOK++
+		}
+		if len(ex.ControlSent) > 0 {
+			ctrlSent++
+			if ex.ControlOK {
+				ctrlOK++
+				ctrlBitsDelivered += len(ex.ControlSent)
+			}
+		}
+		silences += ex.SilencesInserted
+		fPos += ex.Detection.FalsePositives
+		fNeg += ex.Detection.FalseNegatives
+		scanned += ex.Detection.Silences + ex.Detection.Normals
+		measuredSum += ex.MeasuredSNRdB
+		if tw != nil {
+			if err := tw.Write(trace.FromExchange(i, ex, len(data))); err != nil {
+				fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *verbose {
+			fmt.Printf("pkt %3d: mode=%v dataOK=%v ctrlOK=%v silences=%d measured=%.1fdB actual=%.1fdB\n",
+				i, ex.Mode, ex.DataOK, ex.ControlOK, ex.SilencesInserted, ex.MeasuredSNRdB, ex.ActualSNRdB)
+		}
+	}
+
+	elapsed := link.Now()
+	fmt.Printf("position=%v snr=%.1fdB packets=%d size=%dB mobile=%v interference=%v\n",
+		pos, *snr, *packets, *size, *mobile, *intf)
+	fmt.Printf("data PRR:              %.4f (%d/%d)\n", float64(dataOK)/float64(*packets), dataOK, *packets)
+	if ctrlSent > 0 {
+		fmt.Printf("control delivery rate: %.4f (%d/%d)\n", float64(ctrlOK)/float64(ctrlSent), ctrlOK, ctrlSent)
+		fmt.Printf("control throughput:    %.0f bit/s of free control messages\n", float64(ctrlBitsDelivered)/elapsed)
+		fmt.Printf("silence symbols:       %d total (%.1f/packet)\n", silences, float64(silences)/float64(ctrlSent))
+		if scanned > 0 {
+			fmt.Printf("detector errors:       %d false positives, %d false negatives over %d positions\n", fPos, fNeg, scanned)
+		}
+	}
+	fmt.Printf("mean measured SNR:     %.1f dB\n", measuredSum/float64(*packets))
+}

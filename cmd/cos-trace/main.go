@@ -1,0 +1,59 @@
+// Command cos-trace summarizes a JSON-lines event trace captured with
+// cos-sim -trace: packet and control delivery rates, detector error
+// totals, control throughput, and the data-rate histogram.
+//
+//	cos-sim -snr 18 -packets 500 -trace session.jsonl
+//	cos-trace session.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cos/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cos-trace <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)
+		os.Exit(1)
+	}
+	s, err := trace.Summarize(events)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("events:                 %d\n", s.Events)
+	fmt.Printf("data PRR:               %.4f\n", s.DataPRR)
+	fmt.Printf("control attempts:       %d\n", s.ControlAttempts)
+	fmt.Printf("control delivery:       %.4f\n", s.ControlDelivery)
+	fmt.Printf("control CRC-verified:   %.4f\n", s.ControlVerifiedRate)
+	fmt.Printf("control throughput:     %.0f bit/s\n", s.ControlThroughputBps)
+	fmt.Printf("silence symbols:        %d\n", s.SilencesTotal)
+	fmt.Printf("detector errors:        %d FP, %d FN\n", s.FalsePositives, s.FalseNegatives)
+	fmt.Printf("mean measured SNR:      %.1f dB\n", s.MeanMeasuredSNRdB)
+	rates := make([]int, 0, len(s.RateHistogram))
+	for r := range s.RateHistogram {
+		rates = append(rates, r)
+	}
+	sort.Ints(rates)
+	fmt.Printf("rate histogram:        ")
+	for _, r := range rates {
+		fmt.Printf(" %dMbps:%d", r, s.RateHistogram[r])
+	}
+	fmt.Println()
+}

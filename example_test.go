@@ -1,0 +1,81 @@
+package cos_test
+
+import (
+	"fmt"
+	"log"
+
+	"cos"
+)
+
+// The canonical flow: bootstrap the feedback loop with one data packet,
+// then piggyback control bits on the next.
+func ExampleNewLink() {
+	link, err := cos.NewLink(
+		cos.WithPosition(cos.PositionB),
+		cos.WithSNR(20),
+		cos.WithSeed(1),
+		cos.WithFixedRate(24),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	if _, err := link.Send(data, nil); err != nil { // bootstrap
+		log.Fatal(err)
+	}
+	control := []byte{0, 0, 1, 0, 0, 1, 1, 0} // "0010 0110" -> intervals 2, 6
+	ex, err := link.Send(data, control)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data delivered:", ex.DataOK)
+	fmt.Println("control delivered:", ex.ControlOK)
+	// Output:
+	// data delivered: true
+	// control delivered: true
+}
+
+// Control framing lets the receiver validate messages by CRC instead of
+// comparing against known content.
+func ExampleWithControlFraming() {
+	link, err := cos.NewLink(
+		cos.WithSNR(20),
+		cos.WithSeed(2),
+		cos.WithFixedRate(24),
+		cos.WithControlFraming(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	if _, err := link.Send(data, nil); err != nil {
+		log.Fatal(err)
+	}
+	ex, err := link.Send(data, []byte{1, 0, 1, 1, 0}) // any length
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified:", ex.ControlVerified)
+	fmt.Println("payload:", ex.ControlPayload)
+	// Output:
+	// verified: true
+	// payload: [1 0 1 1 0]
+}
+
+// MaxControlBits reports the current adaptive budget before sending.
+func ExampleLink_MaxControlBits() {
+	link, err := cos.NewLink(cos.WithSNR(18), cos.WithSeed(3), cos.WithSilenceBudget(9), cos.WithFixedRate(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := link.Send(make([]byte, 1024), nil); err != nil {
+		log.Fatal(err)
+	}
+	bits, err := link.MaxControlBits(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bits) // (9 silences - 1 start marker) * 4 bits per interval
+	// Output:
+	// 32
+}

@@ -1,0 +1,3 @@
+module cos
+
+go 1.22

@@ -1,0 +1,94 @@
+// Package bits provides bit-level utilities used throughout the 802.11a PHY:
+// byte/bit conversion in transmission order, the 802.11 data scrambler, and
+// the 32-bit frame check sequence.
+//
+// Throughout this package (and the PHY) a "bit slice" is a []byte whose
+// elements are each 0 or 1. This representation trades memory for clarity
+// and makes interleaving, puncturing, and erasure bookkeeping trivial.
+package bits
+
+import "fmt"
+
+// FromBytes expands data into one bit per element, LSB first within each
+// byte, matching the 802.11 convention that the least-significant bit of
+// each octet is transmitted first.
+func FromBytes(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			out = append(out, (b>>i)&1)
+		}
+	}
+	return out
+}
+
+// ToBytes packs a bit slice (LSB first per octet) back into bytes.
+// len(bits) must be a multiple of 8.
+func ToBytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("bits: length %d is not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("bits: element %d = %d is not a bit", i, b)
+		}
+		out[i/8] |= b << (i % 8)
+	}
+	return out, nil
+}
+
+// Equal reports whether two bit slices have identical length and contents.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the number of positions at which a and b differ. Slices of
+// unequal length compare over the shorter prefix, with the length difference
+// added (every overhanging bit counts as an error).
+func Diff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	d := len(a) + len(b) - 2*n
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// PackUint encodes the low n bits of v into a bit slice, LSB first.
+func PackUint(v uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = byte((v >> i) & 1)
+	}
+	return out
+}
+
+// UnpackUint decodes a bit slice (LSB first) into an unsigned integer.
+// len(b) must be at most 64.
+func UnpackUint(b []byte) (uint64, error) {
+	if len(b) > 64 {
+		return 0, fmt.Errorf("bits: cannot unpack %d bits into uint64", len(b))
+	}
+	var v uint64
+	for i, bit := range b {
+		if bit > 1 {
+			return 0, fmt.Errorf("bits: element %d = %d is not a bit", i, bit)
+		}
+		v |= uint64(bit) << i
+	}
+	return v, nil
+}

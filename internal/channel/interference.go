@@ -1,0 +1,59 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PulseInterferer injects random high-power bursts into a sample stream,
+// modeling the co-channel pulse interference of the Fig. 10(d) experiment
+// ("pulse signal is sent randomly"). Each burst is complex Gaussian with the
+// configured power and lasts BurstLen samples.
+type PulseInterferer struct {
+	// Power is the burst power relative to unit signal power (linear).
+	Power float64
+	// BurstLen is the burst duration in samples.
+	BurstLen int
+	// StartProb is the per-sample probability that a new burst begins when
+	// no burst is active.
+	StartProb float64
+}
+
+// Validate reports configuration errors.
+func (p PulseInterferer) Validate() error {
+	if p.Power < 0 {
+		return fmt.Errorf("channel: negative interference power %v", p.Power)
+	}
+	if p.BurstLen < 1 {
+		return fmt.Errorf("channel: burst length %d must be >= 1", p.BurstLen)
+	}
+	if p.StartProb < 0 || p.StartProb > 1 {
+		return fmt.Errorf("channel: start probability %v out of [0,1]", p.StartProb)
+	}
+	return nil
+}
+
+// Apply adds interference bursts to samples in place and returns the number
+// of samples hit.
+func (p PulseInterferer) Apply(samples []complex128, rng *rand.Rand) (hit int, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if p.Power == 0 || p.StartProb == 0 {
+		return 0, nil
+	}
+	sigma := math.Sqrt(p.Power / 2)
+	remaining := 0
+	for i := range samples {
+		if remaining == 0 && rng.Float64() < p.StartProb {
+			remaining = p.BurstLen
+		}
+		if remaining > 0 {
+			samples[i] += complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
+			remaining--
+			hit++
+		}
+	}
+	return hit, nil
+}

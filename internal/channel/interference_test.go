@@ -1,0 +1,65 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+
+	"cos/internal/dsp"
+)
+
+func TestPulseInterfererValidate(t *testing.T) {
+	bad := []PulseInterferer{
+		{Power: -1, BurstLen: 1, StartProb: 0.1},
+		{Power: 1, BurstLen: 0, StartProb: 0.1},
+		{Power: 1, BurstLen: 1, StartProb: -0.1},
+		{Power: 1, BurstLen: 1, StartProb: 1.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v): want error", p)
+		}
+	}
+}
+
+func TestPulseInterfererInjectsBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	p := PulseInterferer{Power: 64, BurstLen: 80, StartProb: 0.005}
+	x := make([]complex128, 20000)
+	hit, err := p.Apply(x, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit == 0 {
+		t.Fatal("no interference injected")
+	}
+	if hit%1 != 0 || hit > len(x) {
+		t.Fatalf("hit count %d out of range", hit)
+	}
+	if dsp.Power(x) == 0 {
+		t.Error("interference carried no energy")
+	}
+}
+
+func TestPulseInterfererZeroConfigsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	x := make([]complex128, 100)
+	for _, p := range []PulseInterferer{
+		{Power: 0, BurstLen: 10, StartProb: 0.5},
+		{Power: 10, BurstLen: 10, StartProb: 0},
+	} {
+		hit, err := p.Apply(x, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit != 0 || dsp.Power(x) != 0 {
+			t.Errorf("%+v should be a no-op", p)
+		}
+	}
+}
+
+func TestPulseInterfererInvalidApply(t *testing.T) {
+	p := PulseInterferer{Power: -1, BurstLen: 1, StartProb: 0.1}
+	if _, err := p.Apply(make([]complex128, 10), rand.New(rand.NewSource(83))); err == nil {
+		t.Error("Apply with invalid config should error")
+	}
+}

@@ -1,0 +1,264 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cos/internal/bits"
+)
+
+func TestConvEncodeKnownVector(t *testing.T) {
+	// Hand-computed from the 133/171 generators starting in state 0.
+	got, err := ConvEncode([]byte{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 1, 0, 1, 0, 0}
+	if !bits.Equal(got, want) {
+		t.Errorf("ConvEncode([1 0 1]) = %v, want %v", got, want)
+	}
+}
+
+func TestConvEncodeZeroInput(t *testing.T) {
+	got, err := ConvEncode(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("all-zero input produced nonzero coded bit at %d", i)
+		}
+	}
+}
+
+func TestConvEncodeRejectsNonBits(t *testing.T) {
+	if _, err := ConvEncode([]byte{0, 1, 2}); err == nil {
+		t.Error("want error for non-bit input")
+	}
+}
+
+func TestConvEncodeLinearity(t *testing.T) {
+	// Convolutional codes are linear: enc(a XOR b) == enc(a) XOR enc(b).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32 + rng.Intn(64)
+		a := randBits(rng, n)
+		b := randBits(rng, n)
+		x := make([]byte, n)
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		ea, _ := ConvEncode(a)
+		eb, _ := ConvEncode(b)
+		ex, _ := ConvEncode(x)
+		for i := range ex {
+			if ex[i] != ea[i]^eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randBits(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(2))
+	}
+	return out
+}
+
+// encodeWithTail encodes data plus the 6 flush bits.
+func encodeWithTail(t *testing.T, data []byte) []byte {
+	t.Helper()
+	in := make([]byte, 0, len(data)+TailBits)
+	in = append(in, data...)
+	in = append(in, make([]byte, TailBits)...)
+	coded, err := ConvEncode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coded
+}
+
+func TestViterbiNoiselessRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dec := &Viterbi{Terminated: true}
+	for trial := 0; trial < 20; trial++ {
+		data := randBits(rng, 24+rng.Intn(200))
+		coded := encodeWithTail(t, data)
+		m, err := HardMetrics(coded, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bits.Equal(got[:len(data)], data) {
+			t.Fatalf("trial %d: decode mismatch", trial)
+		}
+	}
+}
+
+func TestViterbiUnterminatedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	dec := &Viterbi{Terminated: false}
+	data := randBits(rng, 120)
+	coded, err := ConvEncode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := HardMetrics(coded, 1)
+	got, err := dec.Decode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without termination the tail of the block is unreliable; check the
+	// prefix only.
+	if !bits.Equal(got[:100], data[:100]) {
+		t.Fatal("unterminated decode mismatch in reliable prefix")
+	}
+}
+
+func TestViterbiCorrectsScatteredErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dec := &Viterbi{Terminated: true}
+	data := randBits(rng, 400)
+	coded := encodeWithTail(t, data)
+	m, _ := HardMetrics(coded, 1)
+	// Flip well-separated coded bits: the free distance is 10, so isolated
+	// single errors spaced far apart are always correctable.
+	for pos := 7; pos < len(m); pos += 40 {
+		m[pos] = -m[pos]
+	}
+	got, err := dec.Decode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(got[:len(data)], data) {
+		t.Fatal("Viterbi failed to correct scattered single errors")
+	}
+}
+
+func TestViterbiCorrectsScatteredErasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	dec := &Viterbi{Terminated: true}
+	data := randBits(rng, 400)
+	coded := encodeWithTail(t, data)
+	m, _ := HardMetrics(coded, 1)
+	// Erase 20% of coded bits at random: a rate-1/2 code with d_free = 10
+	// handles scattered erasures at this density essentially always.
+	for i := range m {
+		if rng.Float64() < 0.20 {
+			m[i] = 0
+		}
+	}
+	got, err := dec.Decode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(got[:len(data)], data) {
+		t.Fatal("Viterbi failed under 20% scattered erasures")
+	}
+}
+
+func TestErasuresPreferableToErrors(t *testing.T) {
+	// Geist & Cain: an erasure consumes roughly half the correction budget
+	// of an error. Compare decode success under p fraction erasures vs p
+	// fraction hard errors at a density where errors start to fail.
+	rng := rand.New(rand.NewSource(15))
+	dec := &Viterbi{Terminated: true}
+	const trials = 60
+	const p = 0.11
+	erasureOK, errorOK := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		data := randBits(rng, 300)
+		coded := encodeWithTail(t, data)
+
+		mE, _ := HardMetrics(coded, 1)
+		mX, _ := HardMetrics(coded, 1)
+		for i := range mE {
+			if rng.Float64() < p {
+				mE[i] = 0
+			}
+			if rng.Float64() < p {
+				mX[i] = -mX[i]
+			}
+		}
+		if got, err := dec.Decode(mE); err == nil && bits.Equal(got[:len(data)], data) {
+			erasureOK++
+		}
+		if got, err := dec.Decode(mX); err == nil && bits.Equal(got[:len(data)], data) {
+			errorOK++
+		}
+	}
+	if erasureOK <= errorOK {
+		t.Errorf("erasures should beat errors: erasure successes %d, error successes %d", erasureOK, errorOK)
+	}
+	if erasureOK < trials*9/10 {
+		t.Errorf("erasure decoding succeeded only %d/%d times", erasureOK, trials)
+	}
+}
+
+func TestViterbiOddMetricsRejected(t *testing.T) {
+	dec := &Viterbi{}
+	if _, err := dec.Decode(make([]float64, 3)); err == nil {
+		t.Error("want error for odd metric count")
+	}
+}
+
+func TestViterbiEmptyInput(t *testing.T) {
+	dec := &Viterbi{}
+	got, err := dec.Decode(nil)
+	if err != nil || got != nil {
+		t.Errorf("Decode(nil) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestHardMetricsRejectsNonBits(t *testing.T) {
+	if _, err := HardMetrics([]byte{3}, 1); err == nil {
+		t.Error("want error for non-bit input")
+	}
+}
+
+func TestViterbiSoftBeatsHardUnderNoise(t *testing.T) {
+	// Soft metrics carrying reliability should decode at least as well as
+	// quantized hard decisions from the same noisy observations.
+	rng := rand.New(rand.NewSource(16))
+	dec := &Viterbi{Terminated: true}
+	const sigma = 0.95
+	softErrs, hardErrs := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		data := randBits(rng, 200)
+		coded := encodeWithTail(t, data)
+		soft := make([]float64, len(coded))
+		hard := make([]float64, len(coded))
+		for i, b := range coded {
+			x := float64(2*int(b)-1) + sigma*rng.NormFloat64()
+			soft[i] = x
+			if x >= 0 {
+				hard[i] = 1
+			} else {
+				hard[i] = -1
+			}
+		}
+		if got, err := dec.Decode(soft); err != nil {
+			t.Fatal(err)
+		} else {
+			softErrs += bits.Diff(got[:len(data)], data)
+		}
+		if got, err := dec.Decode(hard); err != nil {
+			t.Fatal(err)
+		} else {
+			hardErrs += bits.Diff(got[:len(data)], data)
+		}
+	}
+	if softErrs > hardErrs {
+		t.Errorf("soft decoding (%d bit errors) should not lose to hard decoding (%d)", softErrs, hardErrs)
+	}
+}

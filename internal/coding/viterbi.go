@@ -1,0 +1,116 @@
+package coding
+
+import (
+	"fmt"
+	"math"
+)
+
+// Viterbi decodes the 802.11a rate-1/2 convolutional code from soft bit
+// metrics, implementing the paper's erasure Viterbi decoding (EVD).
+//
+// The input is one metric per mother-code bit (so len(metrics) must be even:
+// A and B generator outputs alternate). Each metric is an LLR-style value:
+// positive favors bit 1, negative favors bit 0, and exactly zero means the
+// bit is erased (silence symbol or punctured position) and contributes
+// nothing to any path — precisely Eq. (7) of the paper.
+//
+// The decoder maximizes sum over coded bits of metric * (2*bit - 1) with a
+// full traceback over the whole block.
+type Viterbi struct {
+	// Terminated selects terminated-trellis decoding: the encoder is assumed
+	// to have been flushed with TailBits zeros, so the survivor ending in
+	// state 0 is chosen. When false, the best-metric end state is used.
+	Terminated bool
+}
+
+// Decode returns the maximum-likelihood information bits for the given
+// metrics. The returned slice has len(metrics)/2 bits, including any tail
+// bits the encoder appended.
+func (v *Viterbi) Decode(metrics []float64) ([]byte, error) {
+	if len(metrics)%2 != 0 {
+		return nil, fmt.Errorf("coding: metric count %d is odd; rate-1/2 code needs pairs", len(metrics))
+	}
+	steps := len(metrics) / 2
+	if steps == 0 {
+		return nil, nil
+	}
+
+	negInf := math.Inf(-1)
+	cur := make([]float64, NumStates)
+	next := make([]float64, NumStates)
+	for s := 1; s < NumStates; s++ {
+		cur[s] = negInf // encoder starts in state 0
+	}
+
+	// decisions[t*NumStates + ns] records the input bit whose transition
+	// won state ns at step t; predecessor recovery re-derives the previous
+	// state from (ns, bit) since the trellis shift structure is invertible:
+	// ns = (bit<<6 | prev) >> 1  =>  prev = (ns<<1 | lostBit) & 0x3F with
+	// bit = ns>>5. That inversion is ambiguous in the lost LSB, so we store
+	// the predecessor state directly in 6 bits alongside the bit.
+	type decision uint8 // bits 0-5: predecessor state, bit 6: input bit
+	decisions := make([]decision, steps*NumStates)
+
+	for t := 0; t < steps; t++ {
+		mA := metrics[2*t]
+		mB := metrics[2*t+1]
+		for s := range next {
+			next[s] = negInf
+		}
+		for s := 0; s < NumStates; s++ {
+			pm := cur[s]
+			if math.IsInf(pm, -1) {
+				continue
+			}
+			for b := 0; b <= 1; b++ {
+				br := trellis[s][b]
+				m := pm + float64(br.outA)*mA + float64(br.outB)*mB
+				ns := int(br.next)
+				if m > next[ns] {
+					next[ns] = m
+					decisions[t*NumStates+ns] = decision(uint8(s) | uint8(b)<<6)
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+
+	// Pick the terminal state.
+	end := 0
+	if !v.Terminated {
+		best := cur[0]
+		for s := 1; s < NumStates; s++ {
+			if cur[s] > best {
+				best = cur[s]
+				end = s
+			}
+		}
+	}
+	if math.IsInf(cur[end], -1) {
+		return nil, fmt.Errorf("coding: no surviving path to end state %d", end)
+	}
+
+	out := make([]byte, steps)
+	state := end
+	for t := steps - 1; t >= 0; t-- {
+		d := decisions[t*NumStates+state]
+		out[t] = byte(d >> 6)
+		state = int(d & 0x3F)
+	}
+	return out, nil
+}
+
+// HardMetrics converts hard bits into antipodal metrics of the given
+// confidence (use 1.0 for unit confidence). It is a convenience for tests
+// and hard-decision baselines. Erasures can be injected afterwards by
+// zeroing entries.
+func HardMetrics(bits []byte, confidence float64) ([]float64, error) {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("coding: element %d = %d is not a bit", i, b)
+		}
+		out[i] = confidence * float64(2*int(b)-1)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pathMetric scores a candidate information sequence against soft metrics.
+func pathMetric(t *testing.T, info []byte, metrics []float64) float64 {
+	t.Helper()
+	coded, err := ConvEncode(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m float64
+	for i, b := range coded {
+		m += metrics[i] * float64(2*int(b)-1)
+	}
+	return m
+}
+
+// TestViterbiOptimalityBruteForce verifies against exhaustive search that
+// the decoder returns the maximum-metric terminated path — the property
+// that makes it a maximum-likelihood decoder. This is the test that would
+// have caught the unterminated-pad-bits bug in the PHY.
+func TestViterbiOptimalityBruteForce(t *testing.T) {
+	dec := &Viterbi{Terminated: true}
+	const infoBits = 10
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps := infoBits + TailBits
+		metrics := make([]float64, 2*steps)
+		for i := range metrics {
+			metrics[i] = rng.NormFloat64()
+			if rng.Float64() < 0.15 {
+				metrics[i] = 0 // sprinkle erasures
+			}
+		}
+		got, err := dec.Decode(metrics)
+		if err != nil {
+			return false
+		}
+		gotMetric := pathMetric(t, got, metrics)
+		// Exhaustive search over all terminated information sequences.
+		best := -1e300
+		for v := 0; v < 1<<infoBits; v++ {
+			info := make([]byte, steps)
+			for i := 0; i < infoBits; i++ {
+				info[i] = byte((v >> i) & 1)
+			}
+			if m := pathMetric(t, info, metrics); m > best {
+				best = m
+			}
+		}
+		// The decoder's tail must be zero (terminated).
+		for i := infoBits; i < steps; i++ {
+			if got[i] != 0 {
+				return false
+			}
+		}
+		return gotMetric >= best-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestViterbiUnterminatedOptimality checks the free-end variant against
+// brute force over all end states.
+func TestViterbiUnterminatedOptimality(t *testing.T) {
+	dec := &Viterbi{}
+	const infoBits = 12
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		metrics := make([]float64, 2*infoBits)
+		for i := range metrics {
+			metrics[i] = rng.NormFloat64()
+		}
+		got, err := dec.Decode(metrics)
+		if err != nil {
+			return false
+		}
+		gotMetric := pathMetric(t, got, metrics)
+		best := -1e300
+		for v := 0; v < 1<<infoBits; v++ {
+			info := make([]byte, infoBits)
+			for i := 0; i < infoBits; i++ {
+				info[i] = byte((v >> i) & 1)
+			}
+			if m := pathMetric(t, info, metrics); m > best {
+				best = m
+			}
+		}
+		return gotMetric >= best-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestViterbiAllErasures decodes a fully erased block: any terminated path
+// is equally likely, and the decoder must not fail.
+func TestViterbiAllErasures(t *testing.T) {
+	dec := &Viterbi{Terminated: true}
+	metrics := make([]float64, 2*(20+TailBits))
+	out, err := dec.Decode(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20+TailBits {
+		t.Fatalf("output length %d", len(out))
+	}
+}
+
+// TestViterbiMetricScaleInvariance: scaling all metrics by a positive
+// constant cannot change the decision.
+func TestViterbiMetricScaleInvariance(t *testing.T) {
+	dec := &Viterbi{Terminated: true}
+	f := func(seed int64, scaleRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := 0.1 + float64(scaleRaw)/8
+		data := randBits(rng, 60)
+		in := append(append([]byte{}, data...), make([]byte, TailBits)...)
+		coded, err := ConvEncode(in)
+		if err != nil {
+			return false
+		}
+		m1 := make([]float64, len(coded))
+		m2 := make([]float64, len(coded))
+		for i, b := range coded {
+			v := float64(2*int(b)-1) + 0.8*rng.NormFloat64()
+			m1[i] = v
+			m2[i] = v * scale
+		}
+		d1, err := dec.Decode(m1)
+		if err != nil {
+			return false
+		}
+		d2, err := dec.Decode(m2)
+		if err != nil {
+			return false
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package cos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cos/internal/channel"
+	"cos/internal/phy"
+)
+
+func TestFeedbackPSDURoundTrip(t *testing.T) {
+	for _, snr := range []float64{-10, -0.25, 0, 7.25, 22.5, 53.75} {
+		f := Feedback{MeasuredSNRdB: snr, Selected: []int{1, 2, 3}}
+		psdu, err := f.encodePSDU()
+		if err != nil {
+			t.Fatalf("snr %v: %v", snr, err)
+		}
+		got, count, ok := decodePSDU(psdu)
+		if !ok {
+			t.Fatalf("snr %v: decode failed", snr)
+		}
+		if math.Abs(got-snr) > snrQuant/2 {
+			t.Errorf("snr %v decoded as %v", snr, got)
+		}
+		if count != 3 {
+			t.Errorf("selection count = %d", count)
+		}
+	}
+	if _, err := (Feedback{MeasuredSNRdB: 99}).encodePSDU(); err == nil {
+		t.Error("out-of-range SNR should error")
+	}
+	if _, _, ok := decodePSDU([]byte{1, 2, 3}); ok {
+		t.Error("garbage PSDU should fail")
+	}
+}
+
+func TestFeedbackFrameRoundTripOverChannel(t *testing.T) {
+	ch, err := channel.PositionB.New(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(401))
+	// A legal selection: SelectDetectable never picks subcarriers in the
+	// channel's deep notch (Position B fades subcarriers 19-28).
+	f := Feedback{MeasuredSNRdB: 17.5, Selected: []int{3, 15, 31, 40, 44}}
+	samples, err := BuildFeedbackFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hResp := ch.FrequencyResponse(0)
+	nv, err := phy.NoiseVarForActualSNR(hResp, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := ch.Apply(samples, 0, nv, rng)
+	got, err := ParseFeedbackFrame(rx, Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.MeasuredSNRdB-17.5) > snrQuant/2 {
+		t.Errorf("SNR = %v, want 17.5", got.MeasuredSNRdB)
+	}
+	if len(got.Selected) != len(f.Selected) {
+		t.Fatalf("selected %v, want %v", got.Selected, f.Selected)
+	}
+	for i := range f.Selected {
+		if got.Selected[i] != f.Selected[i] {
+			t.Fatalf("selected %v, want %v", got.Selected, f.Selected)
+		}
+	}
+}
+
+func TestFeedbackFrameValidation(t *testing.T) {
+	// Empty selections are legal (CoS paused).
+	if _, err := BuildFeedbackFrame(Feedback{MeasuredSNRdB: 10, Selected: nil}); err != nil {
+		t.Errorf("empty selection should encode: %v", err)
+	}
+	if _, err := BuildFeedbackFrame(Feedback{MeasuredSNRdB: 10, Selected: []int{50}}); err == nil {
+		t.Error("bad subcarrier should error")
+	}
+	// Wrong frame length.
+	if _, err := ParseFeedbackFrame(make([]complex128, 400), Detector{}); err == nil {
+		t.Error("wrong-length frame should error")
+	}
+}
+
+func TestFeedbackFrameCountCrosscheck(t *testing.T) {
+	// Corrupt the V symbol by silencing an extra subcarrier at the sample
+	// level: the count crosscheck must catch the mismatch (or detection
+	// noise must not produce a *different valid-looking* selection).
+	ch, err := channel.PositionFlat.New(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(402))
+	f := Feedback{MeasuredSNRdB: 15, Selected: []int{10, 20}}
+	samples, err := BuildFeedbackFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero the last OFDM symbol entirely: every subcarrier reads silent.
+	for i := len(samples) - 80; i < len(samples); i++ {
+		samples[i] = 0
+	}
+	rx := ch.Apply(samples, 0, 1e-6, rng)
+	if _, err := ParseFeedbackFrame(rx, Detector{}); err == nil {
+		t.Error("mangled V symbol should fail the count crosscheck")
+	}
+}
+
+func TestFeedbackFrameEmptySelectionRoundTrip(t *testing.T) {
+	ch, err := channel.PositionFlat.New(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(403))
+	samples, err := BuildFeedbackFrame(Feedback{MeasuredSNRdB: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := ch.Apply(samples, 0, 1e-5, rng)
+	got, err := ParseFeedbackFrame(rx, Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Selected) != 0 {
+		t.Errorf("selected = %v, want empty", got.Selected)
+	}
+	if math.Abs(got.MeasuredSNRdB-12) > snrQuant/2 {
+		t.Errorf("SNR = %v", got.MeasuredSNRdB)
+	}
+}

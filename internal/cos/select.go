@@ -1,0 +1,183 @@
+package cos
+
+import (
+	"fmt"
+	"sort"
+
+	"cos/internal/modulation"
+	"cos/internal/ofdm"
+)
+
+// SelectControlSubcarriers implements the paper's subcarrier selection
+// (Sec. III-D): a data subcarrier whose EVM exceeds Dm/2 for the upcoming
+// mode's constellation cannot be demodulated reliably, so its symbols are
+// already doomed to be corrected by the channel code — erasing them for CoS
+// is nearly free. Those subcarriers are selected as control subcarriers.
+//
+// evm holds the per-subcarrier EVM fractions measured from the last
+// correctly decoded packet. minCount guarantees CoS always has carriers to
+// signal on (on clean channels no subcarrier may cross the threshold): if
+// fewer qualify, the weakest (highest-EVM) subcarriers fill the quota.
+// maxCount, if positive, caps the selection at the weakest maxCount.
+// The result is in ascending subcarrier order.
+func SelectControlSubcarriers(evm []float64, scheme modulation.Scheme, minCount, maxCount int) ([]int, error) {
+	if len(evm) != ofdm.NumData {
+		return nil, fmt.Errorf("cos: EVM vector has %d entries, want %d", len(evm), ofdm.NumData)
+	}
+	if !scheme.Valid() {
+		return nil, fmt.Errorf("cos: invalid modulation scheme %d", int(scheme))
+	}
+	if minCount < 1 || minCount > ofdm.NumData {
+		return nil, fmt.Errorf("cos: minCount %d out of range [1,%d]", minCount, ofdm.NumData)
+	}
+	if maxCount != 0 && maxCount < minCount {
+		return nil, fmt.Errorf("cos: maxCount %d below minCount %d", maxCount, minCount)
+	}
+
+	threshold := scheme.MinDistance() / 2
+	type sub struct {
+		idx int
+		evm float64
+	}
+	byWeakness := make([]sub, ofdm.NumData)
+	for i, e := range evm {
+		byWeakness[i] = sub{idx: i, evm: e}
+	}
+	sort.Slice(byWeakness, func(a, b int) bool {
+		if byWeakness[a].evm != byWeakness[b].evm {
+			return byWeakness[a].evm > byWeakness[b].evm
+		}
+		return byWeakness[a].idx < byWeakness[b].idx
+	})
+
+	selected := make([]int, 0, minCount)
+	for _, s := range byWeakness {
+		if s.evm > threshold || len(selected) < minCount {
+			selected = append(selected, s.idx)
+			continue
+		}
+		break
+	}
+	if maxCount > 0 && len(selected) > maxCount {
+		selected = selected[:maxCount]
+	}
+	sort.Ints(selected)
+	return selected, nil
+}
+
+// EncodeFeedback builds the one-OFDM-symbol subcarrier-selection feedback of
+// Sec. III-D: a grid of one symbol where each selected subcarrier is silent
+// and every other data subcarrier carries a known BPSK pilot (+1). The
+// symbol rides on the reverse link (piggybacked on the ACK in the paper).
+// An empty selection is legal and encodes as an all-active symbol (the
+// receiver found no usable control subcarriers; CoS pauses).
+func EncodeFeedback(selected []int) (*ofdm.Grid, error) {
+	if len(selected) > 0 {
+		if err := validateCtrlSCs(selected); err != nil {
+			return nil, err
+		}
+	}
+	g := ofdm.NewGrid(1)
+	row, err := g.Symbol(0)
+	if err != nil {
+		return nil, err
+	}
+	for i := range row {
+		row[i] = 1
+	}
+	for _, sc := range selected {
+		row[sc] = 0
+	}
+	return g, nil
+}
+
+// DefaultDetectabilityFloor is the minimum linear ratio between a
+// subcarrier's weakest active constellation energy and the noise floor for
+// the subcarrier to be usable as a control subcarrier (~15 dB separation:
+// the detection threshold then sits well clear of both hypotheses, keeping
+// per-symbol false negatives near 0.4% and false positives near 1e-5 on the
+// weakest admissible subcarrier — what whole-message delivery needs, since
+// one detection error anywhere in a packet shifts every later interval).
+const DefaultDetectabilityFloor = 30.0
+
+// SelectDetectable refines SelectControlSubcarriers with the constraint the
+// paper's lab setup satisfied implicitly: a control subcarrier must be weak
+// enough to be nearly free (high EVM) yet strong enough that energy
+// detection can still separate silence from its weakest constellation
+// point. subcarrierSNRs are the receiver's per-subcarrier linear SNR
+// estimates (phy.FrontEnd.SubcarrierSNRs); floor is the minimum
+// minPointEnergy*SNR ratio (zero selects DefaultDetectabilityFloor).
+//
+// Undetectable subcarriers are excluded outright. If fewer than minCount
+// detectable subcarriers exist, the strongest detectable ones still fill
+// the quota; if none are detectable, an error is returned (CoS must stay
+// silent — in the protocol sense — on such a channel).
+func SelectDetectable(evm, subcarrierSNRs []float64, scheme modulation.Scheme, minCount, maxCount int, floor float64) ([]int, error) {
+	if len(subcarrierSNRs) != ofdm.NumData {
+		return nil, fmt.Errorf("cos: SNR vector has %d entries, want %d", len(subcarrierSNRs), ofdm.NumData)
+	}
+	if floor == 0 {
+		floor = DefaultDetectabilityFloor
+	}
+	if floor < 1 {
+		return nil, fmt.Errorf("cos: detectability floor %v below 1", floor)
+	}
+	all, err := SelectControlSubcarriers(evm, scheme, ofdm.NumData, 0)
+	if err != nil {
+		return nil, err
+	}
+	if minCount < 1 || (maxCount != 0 && maxCount < minCount) {
+		return nil, fmt.Errorf("cos: bad quota min=%d max=%d", minCount, maxCount)
+	}
+	minE := scheme.MinPointEnergy()
+	// Re-rank by weakness (highest EVM first) keeping only detectable ones.
+	type cand struct {
+		idx int
+		evm float64
+	}
+	var cands []cand
+	for _, sc := range all {
+		if minE*subcarrierSNRs[sc] >= floor {
+			cands = append(cands, cand{idx: sc, evm: evm[sc]})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("cos: no detectable control subcarriers (floor %v)", floor)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].evm != cands[b].evm {
+			return cands[a].evm > cands[b].evm
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	threshold := scheme.MinDistance() / 2
+	selected := make([]int, 0, minCount)
+	for _, c := range cands {
+		if c.evm > threshold || len(selected) < minCount {
+			selected = append(selected, c.idx)
+			continue
+		}
+		break
+	}
+	if maxCount > 0 && len(selected) > maxCount {
+		selected = selected[:maxCount]
+	}
+	sort.Ints(selected)
+	return selected, nil
+}
+
+// MaskToSelection converts a one-symbol silence scan (from
+// Detector.DetectSymbol against the feedback symbol) into the ascending
+// list of selected subcarriers — the receive side of EncodeFeedback.
+func MaskToSelection(silent []bool) ([]int, error) {
+	if len(silent) != ofdm.NumData {
+		return nil, fmt.Errorf("cos: scan has %d entries, want %d", len(silent), ofdm.NumData)
+	}
+	var out []int
+	for sc, s := range silent {
+		if s {
+			out = append(out, sc)
+		}
+	}
+	return out, nil
+}

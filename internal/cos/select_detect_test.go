@@ -1,0 +1,110 @@
+package cos
+
+import (
+	"testing"
+
+	"cos/internal/modulation"
+	"cos/internal/ofdm"
+)
+
+func flatSNR(v float64) []float64 {
+	out := make([]float64, ofdm.NumData)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSelectDetectableExcludesDeadSubcarriers(t *testing.T) {
+	evm := flatEVM(0.05)
+	snr := flatSNR(100)
+	// Subcarriers 10 and 30 are weak (high EVM) but 30 is too faded to
+	// detect silences on.
+	evm[10], snr[10] = 0.8, 60
+	evm[30], snr[30] = 0.9, 3
+	got, err := SelectDetectable(evm, snr, modulation.QPSK, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range got {
+		if sc == 30 {
+			t.Error("undetectable subcarrier 30 selected")
+		}
+	}
+	found := false
+	for _, sc := range got {
+		if sc == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("weak detectable subcarrier 10 not selected: %v", got)
+	}
+}
+
+func TestSelectDetectableQuotaFromStrong(t *testing.T) {
+	// Nothing crosses the EVM threshold; quota filled by weakest
+	// detectable subcarriers.
+	evm := flatEVM(0.02)
+	snr := flatSNR(200)
+	evm[5] = 0.04
+	evm[40] = 0.05
+	got, err := SelectDetectable(evm, snr, modulation.QAM16, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 40 {
+		t.Errorf("selected %v, want [5 40]", got)
+	}
+}
+
+func TestSelectDetectableNoCandidates(t *testing.T) {
+	if _, err := SelectDetectable(flatEVM(0.5), flatSNR(1), modulation.QAM64, 1, 0, 0); err == nil {
+		t.Error("all-dead channel should error")
+	}
+}
+
+func TestSelectDetectableMaxCount(t *testing.T) {
+	evm := flatEVM(0.9) // everything weak
+	snr := flatSNR(500) // everything detectable
+	got, err := SelectDetectable(evm, snr, modulation.QPSK, 1, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Errorf("selected %d, want 6", len(got))
+	}
+}
+
+func TestSelectDetectableValidation(t *testing.T) {
+	if _, err := SelectDetectable(flatEVM(0.1), flatSNR(10)[:5], modulation.QPSK, 1, 0, 0); err == nil {
+		t.Error("short SNR vector should error")
+	}
+	if _, err := SelectDetectable(flatEVM(0.1), flatSNR(10), modulation.QPSK, 1, 0, 0.5); err == nil {
+		t.Error("floor below 1 should error")
+	}
+	if _, err := SelectDetectable(flatEVM(0.1), flatSNR(100), modulation.QPSK, 0, 0, 0); err == nil {
+		t.Error("minCount 0 should error")
+	}
+	if _, err := SelectDetectable(flatEVM(0.1), flatSNR(100), modulation.QPSK, 5, 2, 0); err == nil {
+		t.Error("maxCount < minCount should error")
+	}
+}
+
+func TestMinPointEnergyValues(t *testing.T) {
+	cases := map[modulation.Scheme]float64{
+		modulation.BPSK:  1,
+		modulation.QPSK:  1,
+		modulation.QAM16: 0.2,
+		modulation.QAM64: 2.0 / 42.0,
+	}
+	for s, want := range cases {
+		got := s.MinPointEnergy()
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%v MinPointEnergy = %v, want %v", s, got, want)
+		}
+	}
+	if modulation.Scheme(0).MinPointEnergy() != 0 {
+		t.Error("invalid scheme should report 0")
+	}
+}

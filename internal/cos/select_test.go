@@ -1,0 +1,175 @@
+package cos
+
+import (
+	"testing"
+
+	"cos/internal/modulation"
+	"cos/internal/ofdm"
+)
+
+func flatEVM(v float64) []float64 {
+	out := make([]float64, ofdm.NumData)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSelectControlSubcarriersThreshold(t *testing.T) {
+	// 16QAM: Dm/2 = 1/sqrt(10) ~ 0.316. Subcarriers above it qualify.
+	evm := flatEVM(0.05)
+	evm[3] = 0.40
+	evm[17] = 0.35
+	evm[44] = 0.90
+	got, err := SelectControlSubcarriers(evm, modulation.QAM16, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 17, 44}
+	if len(got) != len(want) {
+		t.Fatalf("selected %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selected %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectControlSubcarriersMinCount(t *testing.T) {
+	// Clean channel: nothing crosses the threshold, so the weakest fill
+	// the quota.
+	evm := flatEVM(0.01)
+	evm[7] = 0.03
+	evm[22] = 0.025
+	evm[31] = 0.02
+	got, err := SelectControlSubcarriers(evm, modulation.QPSK, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{7, 22, 31}
+	if len(got) != 3 {
+		t.Fatalf("selected %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selected %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectControlSubcarriersMaxCount(t *testing.T) {
+	// Terrible channel: everything qualifies; cap keeps the weakest N.
+	evm := flatEVM(0.9)
+	for i := range evm {
+		evm[i] += float64(i) * 0.01 // ascending weakness
+	}
+	got, err := SelectControlSubcarriers(evm, modulation.QAM64, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("selected %d subcarriers, want 4", len(got))
+	}
+	// The weakest are the last four indices; result must be ascending.
+	want := []int{44, 45, 46, 47}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selected %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectControlSubcarriersHigherOrderSchemesSelectMore(t *testing.T) {
+	// The same EVM profile crosses Dm/2 for 64QAM long before BPSK: higher
+	// rates leave more subcarriers "doomed", giving CoS more room.
+	evm := flatEVM(0.05)
+	for _, i := range []int{2, 9, 20, 33, 41} {
+		evm[i] = 0.25 // above 64QAM Dm/2 (~0.154), below BPSK Dm/2 (1.0)
+	}
+	high, err := SelectControlSubcarriers(evm, modulation.QAM64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := SelectControlSubcarriers(evm, modulation.BPSK, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high) != 5 {
+		t.Errorf("64QAM selected %v, want the 5 weak subcarriers", high)
+	}
+	if len(low) != 1 {
+		t.Errorf("BPSK selected %v, want only the minCount filler", low)
+	}
+}
+
+func TestSelectControlSubcarriersValidation(t *testing.T) {
+	if _, err := SelectControlSubcarriers(make([]float64, 10), modulation.QPSK, 1, 0); err == nil {
+		t.Error("short EVM vector should error")
+	}
+	if _, err := SelectControlSubcarriers(flatEVM(0.1), modulation.Scheme(0), 1, 0); err == nil {
+		t.Error("invalid scheme should error")
+	}
+	if _, err := SelectControlSubcarriers(flatEVM(0.1), modulation.QPSK, 0, 0); err == nil {
+		t.Error("minCount 0 should error")
+	}
+	if _, err := SelectControlSubcarriers(flatEVM(0.1), modulation.QPSK, 5, 3); err == nil {
+		t.Error("maxCount < minCount should error")
+	}
+}
+
+func TestFeedbackRoundTripNoiseless(t *testing.T) {
+	sel := []int{2, 11, 30, 47}
+	g, err := EncodeFeedback(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := g.Symbol(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directly scan the grid row as an ideal detector would.
+	scan := make([]bool, ofdm.NumData)
+	for i, v := range row {
+		scan[i] = v == 0
+	}
+	got, err := MaskToSelection(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sel) {
+		t.Fatalf("decoded %v, want %v", got, sel)
+	}
+	for i := range sel {
+		if got[i] != sel[i] {
+			t.Fatalf("decoded %v, want %v", got, sel)
+		}
+	}
+}
+
+func TestEncodeFeedbackValidation(t *testing.T) {
+	// Empty selections are legal: an all-active V symbol (CoS paused).
+	g, err := EncodeFeedback(nil)
+	if err != nil {
+		t.Errorf("empty selection should encode: %v", err)
+	} else {
+		row, err := g.Symbol(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sc, v := range row {
+			if v == 0 {
+				t.Errorf("empty selection silenced subcarrier %d", sc)
+			}
+		}
+	}
+	if _, err := EncodeFeedback([]int{50}); err == nil {
+		t.Error("out-of-range selection should error")
+	}
+}
+
+func TestMaskToSelectionValidation(t *testing.T) {
+	if _, err := MaskToSelection(make([]bool, 3)); err == nil {
+		t.Error("short scan should error")
+	}
+}

@@ -1,0 +1,192 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is an O(N^2) reference implementation used to validate the FFT.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func approxEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func randComplexSlice(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128} {
+		x := randComplexSlice(rng, n)
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatalf("FFT(n=%d): %v", n, err)
+		}
+		want := naiveDFT(x)
+		if !approxEqual(got, want, 1e-9*float64(n)) {
+			t.Errorf("FFT(n=%d) disagrees with naive DFT", n)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 12, 63, 65} {
+		x := make([]complex128, n)
+		if _, err := FFT(x); err == nil {
+			t.Errorf("FFT(n=%d): want error, got nil", n)
+		}
+		if _, err := IFFT(x); err == nil {
+			t.Errorf("IFFT(n=%d): want error, got nil", n)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := randComplexSlice(rng, n)
+		y, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IFFT(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(x, back, 1e-9*float64(n)) {
+			t.Errorf("IFFT(FFT(x)) != x for n=%d", n)
+		}
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randComplexSlice(rng, 64)
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	if _, err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(x, orig, 0) {
+		t.Error("FFT mutated its input")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all-ones.
+	x := make([]complex128, 64)
+	x[0] = 1
+	y, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range y {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin k0 transforms to N at bin k0, 0 elsewhere.
+	const n, k0 = 64, 5
+	x := make([]complex128, n)
+	for t0 := 0; t0 < n; t0++ {
+		x[t0] = cmplx.Exp(complex(0, 2*math.Pi*k0*float64(t0)/n))
+	}
+	y, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range y {
+		want := complex128(0)
+		if k == k0 {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Fatalf("tone FFT bin %d = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randComplexSlice(r, 64)
+		b := randComplexSlice(r, 64)
+		alpha := complex(r.NormFloat64(), r.NormFloat64())
+		mix := make([]complex128, 64)
+		for i := range mix {
+			mix[i] = a[i] + alpha*b[i]
+		}
+		fa, _ := FFT(a)
+		fb, _ := FFT(b)
+		fmix, _ := FFT(mix)
+		want := make([]complex128, 64)
+		for i := range want {
+			want[i] = fa[i] + alpha*fb[i]
+		}
+		return approxEqual(fmix, want, 1e-7)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Parseval: sum |x|^2 == (1/N) sum |X|^2.
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randComplexSlice(r, 64)
+		y, _ := FFT(x)
+		return math.Abs(Energy(x)-Energy(y)/64) < 1e-7
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	cases := map[int]bool{
+		-4: false, 0: false, 1: true, 2: true, 3: false,
+		4: true, 63: false, 64: true, 1024: true, 1000: false,
+	}
+	for n, want := range cases {
+		if got := IsPowerOfTwo(n); got != want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", n, got, want)
+		}
+	}
+}

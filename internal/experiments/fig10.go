@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"cos/internal/channel"
+	icos "cos/internal/cos"
+	"cos/internal/dsp"
+	"cos/internal/ofdm"
+	"cos/internal/phy"
+)
+
+// fig10CtrlSCs is the contiguous control set of the paper's Fig. 10(a)
+// (data subcarriers 10..17 in its 1-based numbering).
+var fig10CtrlSCs = []int{9, 10, 11, 12, 13, 14, 15, 16}
+
+// Fig10aConfig parameterizes the FFT-magnitude snapshot.
+type Fig10aConfig struct {
+	// SNR is the true channel SNR in dB (default 15).
+	SNR float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Fig10aConfig) setDefaults() {
+	if c.SNR == 0 {
+		c.SNR = 15
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Fig10aMagnitudes reproduces Fig. 10(a): the relative FFT magnitudes of
+// the 52 occupied subcarriers of one received OFDM symbol in which control
+// subcarriers 10, 11 and 17 (1-based; 9, 10 and 16 here) carry silence
+// symbols. The silent bins are clearly discernible.
+func Fig10aMagnitudes(cfg Fig10aConfig) (*Result, error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mode, err := phy.ModeByRate(24)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.PositionC.NewVariant(false, 5)
+	if err != nil {
+		return nil, err
+	}
+	psdu := make([]byte, 256)
+	rng.Read(psdu)
+	tx, err := phy.BuildPacket(phy.TxConfig{Mode: mode}, psdu)
+	if err != nil {
+		return nil, err
+	}
+	// Silence subcarriers 9, 10 and 16 of symbol 0 (the paper's 10/11/17):
+	// interval 5 between the 10 and the 16 encodes "0101".
+	const sym = 0
+	if _, err := icos.InsertSilences(tx.Grid, []icos.Pos{{Sym: sym, SC: 9}, {Sym: sym, SC: 10}, {Sym: sym, SC: 16}}); err != nil {
+		return nil, err
+	}
+	samples, err := tx.Samples()
+	if err != nil {
+		return nil, err
+	}
+	h := ch.FrequencyResponse(0)
+	nv, err := phy.NoiseVarForActualSNR(h, cfg.SNR)
+	if err != nil {
+		return nil, err
+	}
+	rx := ch.Apply(samples, 0, nv, rng)
+	fe, err := phy.RunFrontEnd(rx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect |Y| over the 52 occupied subcarriers in ascending logical
+	// order, normalized to the maximum.
+	mags := make([]float64, 0, 52)
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		bin, err := ofdm.Bin(k)
+		if err != nil {
+			return nil, err
+		}
+		mags = append(mags, math.Sqrt(dsp.MagSq(fe.Bins[sym][bin])))
+	}
+	max := 0.0
+	for _, m := range mags {
+		if m > max {
+			max = m
+		}
+	}
+	res := &Result{
+		ID:     "fig10a",
+		Title:  "Relative FFT magnitudes of 52 subcarriers with silences on control subcarriers",
+		XLabel: "subcarrier index (1-52)",
+		YLabel: "relative FFT magnitude",
+	}
+	s := Series{Name: "RelativeMagnitude"}
+	for i, m := range mags {
+		s.X = append(s.X, float64(i+1))
+		s.Y = append(s.Y, m/max)
+	}
+	res.Add(s)
+	res.Note("silences inserted on data subcarriers 10, 11, 17 (1-based) of the plotted symbol")
+	return res, nil
+}
+
+// Fig10bConfig parameterizes the threshold sweep.
+type Fig10bConfig struct {
+	// MeasuredSNR is the calibrated NIC SNR of the operating point
+	// (default 9.2 dB as in the paper).
+	MeasuredSNR float64
+	// Packets per threshold point (default 120).
+	Packets int
+	// Points is the number of threshold points (default 25).
+	Points int
+	// Scale shrinks Packets.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Fig10bConfig) setDefaults() {
+	if c.MeasuredSNR == 0 {
+		c.MeasuredSNR = 9.2
+	}
+	if c.Packets == 0 {
+		c.Packets = 120
+	}
+	if c.Points == 0 {
+		c.Points = 25
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Fig10bThreshold reproduces Fig. 10(b): false positive and false negative
+// probabilities of silence detection as the (fixed) energy-detection
+// threshold sweeps from far below the noise floor to far above the signal
+// level. Too low a threshold misses silences (false negatives); too high a
+// threshold reads faded data symbols as silences (false positives).
+// The x axis is the threshold in dB relative to the estimated noise floor
+// (the paper's absolute dBm axis shifted by its noise floor).
+func Fig10bThreshold(cfg Fig10bConfig) (*Result, error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mode, err := phy.ModeByRate(12)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.PositionB.NewVariant(false, 4)
+	if err != nil {
+		return nil, err
+	}
+	actual, err := calibrateActualSNR(ch, 0, mode, cfg.MeasuredSNR, rng)
+	if err != nil {
+		return nil, err
+	}
+	packets := scaled(cfg.Packets, cfg.Scale)
+
+	// Reference noise floor for the x axis.
+	pr, err := probe(ch, 0, mode, 256, actual, rng)
+	if err != nil {
+		return nil, err
+	}
+	noiseFloor := pr.fe.NoiseVar
+
+	res := &Result{
+		ID:     "fig10b",
+		Title:  "Detection accuracy vs energy-detection threshold (measured SNR 9.2 dB)",
+		XLabel: "threshold (dB above noise floor)",
+		YLabel: "probability",
+	}
+	fp := Series{Name: "FalsePositive"}
+	fn := Series{Name: "FalseNegative"}
+	for i := 0; i < cfg.Points; i++ {
+		relDB := -15 + 40*float64(i)/float64(cfg.Points-1)
+		th := noiseFloor * dsp.Linear(relDB)
+		var stats icos.DetectionStats
+		for p := 0; p < packets; p++ {
+			r, err := runCoSTrial(ch, 0, actual, cosTrialConfig{
+				mode:     mode,
+				psduLen:  1024,
+				silences: 12,
+				k:        icos.DefaultBitsPerInterval,
+				ctrlSCs:  fig10CtrlSCs,
+				detector: icos.Detector{FixedThreshold: th},
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			stats.Add(r.detection)
+		}
+		fp.X = append(fp.X, relDB)
+		fp.Y = append(fp.Y, stats.FalsePositiveRate())
+		fn.X = append(fn.X, relDB)
+		fn.Y = append(fn.Y, stats.FalseNegativeRate())
+	}
+	res.Add(fp)
+	res.Add(fn)
+	return res, nil
+}
+
+// Fig10cConfig parameterizes the accuracy-vs-SNR sweep.
+type Fig10cConfig struct {
+	// SNRs are the measured-SNR operating points (default 3..20 dB).
+	SNRs []float64
+	// Packets per point (default 1000, as in the paper).
+	Packets int
+	// Scale shrinks Packets.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Interference enables the pulse interferer (Fig. 10(d)).
+	Interference bool
+}
+
+func (c *Fig10cConfig) setDefaults() {
+	if len(c.SNRs) == 0 {
+		c.SNRs = []float64{3, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	}
+	if c.Packets == 0 {
+		c.Packets = 1000
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// accuracySweep runs the detection-accuracy measurement behind Figs. 10(c)
+// and 10(d): false positive and negative probabilities of the adaptive
+// detector across channel SNRs, optionally under pulse interference.
+func accuracySweep(cfg Fig10cConfig, interfere bool) (fp, fn Series, err error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mode, err := phy.ModeByRate(12)
+	if err != nil {
+		return fp, fn, err
+	}
+	ch, err := channel.PositionB.NewVariant(false, 4)
+	if err != nil {
+		return fp, fn, err
+	}
+	packets := scaled(cfg.Packets, cfg.Scale)
+	intf := channel.PulseInterferer{Power: 40, BurstLen: 160, StartProb: 0.004}
+
+	for _, snr := range cfg.SNRs {
+		actual, err := calibrateActualSNR(ch, 0, mode, snr, rng)
+		if err != nil {
+			return fp, fn, err
+		}
+		trial := cosTrialConfig{
+			mode:     mode,
+			psduLen:  1024,
+			silences: 12,
+			k:        icos.DefaultBitsPerInterval,
+			ctrlSCs:  fig10CtrlSCs,
+			detector: icos.Detector{Scheme: mode.Modulation},
+		}
+		if interfere {
+			trial.interferer = &intf
+		}
+		var stats icos.DetectionStats
+		for p := 0; p < packets; p++ {
+			r, err := runCoSTrial(ch, 0, actual, trial, rng)
+			if err != nil {
+				return fp, fn, err
+			}
+			stats.Add(r.detection)
+		}
+		fp.X = append(fp.X, snr)
+		fp.Y = append(fp.Y, stats.FalsePositiveRate())
+		fn.X = append(fn.X, snr)
+		fn.Y = append(fn.Y, stats.FalseNegativeRate())
+	}
+	return fp, fn, nil
+}
+
+// Fig10cAccuracy reproduces Fig. 10(c): detection accuracy of the adaptive
+// detector across channel SNRs; the false-negative probability stays below
+// ~1% everywhere, while false positives rise only at very low SNR where
+// deep fades approach the noise floor.
+func Fig10cAccuracy(cfg Fig10cConfig) (*Result, error) {
+	cfg.setDefaults()
+	fp, fn, err := accuracySweep(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	fp.Name, fn.Name = "FalsePositive", "FalseNegative"
+	res := &Result{
+		ID:     "fig10c",
+		Title:  "Detection accuracy vs measured SNR (adaptive threshold)",
+		XLabel: "measured SNR (dB)",
+		YLabel: "probability",
+	}
+	res.Add(fp)
+	res.Add(fn)
+	return res, nil
+}
+
+// Fig10dInterference reproduces Fig. 10(d): the false-negative probability
+// with and without strong pulse interference. Interference landing on a
+// silent bin lifts it above threshold and the silence is missed.
+func Fig10dInterference(cfg Fig10cConfig) (*Result, error) {
+	cfg.setDefaults()
+	_, fnClean, err := accuracySweep(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed++ // independent noise for the interference arm
+	_, fnDirty, err := accuracySweep(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	fnClean.Name = "CoS"
+	fnDirty.Name = "CoS with strong interference"
+	res := &Result{
+		ID:     "fig10d",
+		Title:  "Impact of strong interference on false negative probability",
+		XLabel: "measured SNR (dB)",
+		YLabel: "false negative probability",
+	}
+	res.Add(fnDirty)
+	res.Add(fnClean)
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"cos/internal/channel"
+	"cos/internal/phy"
+)
+
+// Fig3Config parameterizes the decoder-input BER measurement.
+type Fig3Config struct {
+	// MinSNR and MaxSNR bound the measured-SNR sweep (defaults 12, 17.3 —
+	// the 24 Mb/s operating band of the paper's Fig. 3).
+	MinSNR, MaxSNR float64
+	// Step is the sweep step in dB (default 0.5).
+	Step float64
+	// Packets is the number of packets averaged per point (default 80).
+	Packets int
+	// Scale shrinks Packets for quick runs.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Fig3Config) setDefaults() {
+	if c.MaxSNR == 0 {
+		c.MinSNR, c.MaxSNR = 12, 17.3
+	}
+	if c.Step == 0 {
+		c.Step = 0.5
+	}
+	if c.Packets == 0 {
+		c.Packets = 80
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Fig3DecoderBER reproduces Fig. 3: decoder-input BER versus measured SNR
+// at 24 Mb/s. "Actual BER" is the hard-decision error rate on the coded
+// bits entering the Viterbi decoder; "Redundant BER" is the headroom —
+// the BER the decoder could still tolerate, estimated as the decoder-input
+// BER at the mode's minimum required SNR (12 dB) minus the actual BER.
+func Fig3DecoderBER(cfg Fig3Config) (*Result, error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mode, err := phy.ModeByRate(24)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.PositionA.NewVariant(false, 7)
+	if err != nil {
+		return nil, err
+	}
+	packets := scaled(cfg.Packets, cfg.Scale)
+
+	berAt := func(targetMeasured float64) (float64, error) {
+		actual, err := calibrateActualSNR(ch, 0, mode, targetMeasured, rng)
+		if err != nil {
+			return 0, err
+		}
+		var errsTotal, bitsTotal int
+		for p := 0; p < packets; p++ {
+			pr, err := probe(ch, 0, mode, 1024, actual, rng)
+			if err != nil {
+				return 0, err
+			}
+			dec, err := pr.fe.Decode(phy.DecodeConfig{Mode: mode, PSDULen: 1024})
+			if err != nil {
+				return 0, err
+			}
+			diag, err := phy.Diagnose(pr.tx, pr.fe, nil, dec.HardCodedBits)
+			if err != nil {
+				return 0, err
+			}
+			errsTotal += diag.DecoderInputBitErrors
+			bitsTotal += diag.DecoderInputBits
+		}
+		if bitsTotal == 0 {
+			return 0, nil
+		}
+		return float64(errsTotal) / float64(bitsTotal), nil
+	}
+
+	// Decoder tolerance anchor: the BER at the minimum required SNR.
+	tolerable, err := berAt(cfg.MinSNR)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "fig3",
+		Title:  "Decoder-input BER vs measured SNR at 24 Mb/s",
+		XLabel: "measured SNR (dB)",
+		YLabel: "decoder-input BER",
+	}
+	actualSer := Series{Name: "ActualBER"}
+	redundSer := Series{Name: "RedundantBER"}
+	for snr := cfg.MinSNR; snr <= cfg.MaxSNR+1e-9; snr += cfg.Step {
+		ber, err := berAt(snr)
+		if err != nil {
+			return nil, err
+		}
+		red := tolerable - ber
+		if red < 0 {
+			red = 0
+		}
+		actualSer.X = append(actualSer.X, snr)
+		actualSer.Y = append(actualSer.Y, ber)
+		redundSer.X = append(redundSer.X, snr)
+		redundSer.Y = append(redundSer.Y, red)
+	}
+	res.Add(actualSer)
+	res.Add(redundSer)
+	res.Note("tolerable decoder-input BER anchored at the 12 dB minimum required SNR: %.5f", tolerable)
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"math/rand"
+	"strconv"
+
+	"cos/internal/channel"
+	"cos/internal/dsp"
+	"cos/internal/modulation"
+	"cos/internal/ofdm"
+	"cos/internal/phy"
+)
+
+// Fig7Config parameterizes the temporal-selectivity measurement.
+type Fig7Config struct {
+	// SNR is the true channel SNR in dB (default 22; the paper's lab links
+	// were short-range and strong).
+	SNR float64
+	// TausMs are the evaluated time gaps in milliseconds (default
+	// 10,20,30,40 as in the paper).
+	TausMs []float64
+	// Draws is the number of (t, t+tau) sample pairs per tau for the CDF
+	// (default 120).
+	Draws int
+	// Avg is the number of packets averaged per D(t) snapshot to suppress
+	// estimator noise (default 4).
+	Avg int
+	// Scale shrinks Draws.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Fig7Config) setDefaults() {
+	if c.SNR == 0 {
+		c.SNR = 22
+	}
+	if len(c.TausMs) == 0 {
+		c.TausMs = []float64{10, 20, 30, 40}
+	}
+	if c.Draws == 0 {
+		c.Draws = 120
+	}
+	if c.Avg == 0 {
+		c.Avg = 4
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// errorVectorSnapshot measures the per-subcarrier mean error-vector
+// magnitudes D(t) and EVM(t), averaged over avg known packets at time t to
+// suppress estimator noise (the channel is static within a snapshot).
+func errorVectorSnapshot(ch *channel.TDL, t float64, mode phy.Mode, snr float64, avg int, rng *rand.Rand) (d, evm []float64, err error) {
+	if avg < 1 {
+		avg = 1
+	}
+	dAcc := make([]float64, ofdm.NumData)
+	evmAcc := make([]float64, ofdm.NumData)
+	for i := 0; i < avg; i++ {
+		pr, err := probe(ch, t, mode, 1024, snr, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		diag, err := phy.Diagnose(pr.tx, pr.fe, nil, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k := 0; k < ofdm.NumData; k++ {
+			dAcc[k] += diag.ErrorVectors[k]
+			evmAcc[k] += diag.EVM[k]
+		}
+	}
+	for k := 0; k < ofdm.NumData; k++ {
+		dAcc[k] /= float64(avg)
+		evmAcc[k] /= float64(avg)
+	}
+	return dAcc, evmAcc, nil
+}
+
+// Fig7Temporal reproduces Fig. 7 in the indoor mobile scenario:
+// (a) per-subcarrier EVM snapshots separated by time gap tau, showing the
+// channel's frequency signature persists across tens of milliseconds, and
+// (b) the CDF of the normalized EVM change (Eq. (2)) for each tau.
+func Fig7Temporal(cfg Fig7Config) (*Result, error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mode, err := phy.ModeByRate(24)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.PositionC.New(true)
+	if err != nil {
+		return nil, err
+	}
+	draws := scaled(cfg.Draws, cfg.Scale)
+
+	res := &Result{
+		ID:     "fig7",
+		Title:  "Temporal selectivity of subcarriers (mobile, walking speed)",
+		XLabel: "subcarrier (a) / nabla-EVM (b)",
+		YLabel: "EVM % (a) / CDF (b)",
+	}
+
+	// (a) EVM snapshots at t0 and t0+tau for each tau.
+	const t0 = 0.050
+	_, evm0, err := errorVectorSnapshot(ch, t0, mode, cfg.SNR, cfg.Avg, rng)
+	if err != nil {
+		return nil, err
+	}
+	base := Series{Name: "EVM tau=0ms"}
+	for d := 0; d < ofdm.NumData; d++ {
+		base.X = append(base.X, float64(d+1))
+		base.Y = append(base.Y, 100*evm0[d])
+	}
+	res.Add(base)
+	for _, tau := range cfg.TausMs {
+		_, evmTau, err := errorVectorSnapshot(ch, t0+tau/1000, mode, cfg.SNR, cfg.Avg, rng)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: "EVM tau=" + fmtMs(tau)}
+		for d := 0; d < ofdm.NumData; d++ {
+			s.X = append(s.X, float64(d+1))
+			s.Y = append(s.Y, 100*evmTau[d])
+		}
+		res.Add(s)
+	}
+
+	// (b) CDF of the normalized EVM change per tau.
+	for _, tau := range cfg.TausMs {
+		var samples []float64
+		for i := 0; i < draws; i++ {
+			t := 0.010 + float64(i)*0.0075
+			dT, _, err := errorVectorSnapshot(ch, t, mode, cfg.SNR, cfg.Avg, rng)
+			if err != nil {
+				return nil, err
+			}
+			dTau, _, err := errorVectorSnapshot(ch, t+tau/1000, mode, cfg.SNR, cfg.Avg, rng)
+			if err != nil {
+				return nil, err
+			}
+			nabla, err := modulation.NablaEVM(dT, dTau)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, nabla)
+		}
+		cdf := dsp.EmpiricalCDF(samples)
+		s := Series{Name: "CDF tau=" + fmtMs(tau)}
+		for _, p := range cdf {
+			s.X = append(s.X, p.Value)
+			s.Y = append(s.Y, p.Prob)
+		}
+		res.Add(s)
+	}
+	res.Note("nabla-EVM per Eq. (2) over the 48-entry error-vector magnitude vectors")
+	return res, nil
+}
+
+func fmtMs(ms float64) string {
+	return strconv.FormatFloat(ms, 'g', -1, 64) + "ms"
+}

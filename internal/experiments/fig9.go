@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"cos/internal/channel"
+	icos "cos/internal/cos"
+	"cos/internal/phy"
+)
+
+// Fig9Config parameterizes the free-control-message capacity measurement.
+type Fig9Config struct {
+	// PacketsPerTrial is the PRR sample size per candidate silence budget
+	// (default 150: PRR >= 0.993 tolerates one loss).
+	PacketsPerTrial int
+	// TargetPRR is the required packet reception rate (default 0.993).
+	TargetPRR float64
+	// PointsPerMode is the number of measured-SNR points inside each
+	// mode's operating band (default 3).
+	PointsPerMode int
+	// PSDULen is the packet size in bytes (default 1024).
+	PSDULen int
+	// Scale shrinks PacketsPerTrial (PRR resolution degrades gracefully).
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Fig9Config) setDefaults() {
+	if c.PacketsPerTrial == 0 {
+		c.PacketsPerTrial = 150
+	}
+	if c.TargetPRR == 0 {
+		c.TargetPRR = 0.993
+	}
+	if c.PointsPerMode == 0 {
+		c.PointsPerMode = 3
+	}
+	if c.PSDULen == 0 {
+		c.PSDULen = 1024
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// maxSilenceBudget caps the binary search; beyond this the erasure load is
+// far past any code's correction capability for 1 KB packets.
+const maxSilenceBudget = 160
+
+// Fig9Capacity reproduces Fig. 9: Rm, the maximum number of silence symbols
+// per second sustainable at packet reception rate >= TargetPRR, as a
+// function of measured SNR, for the six modes the paper evaluates. Within a
+// mode's band Rm rises with SNR (more spare code redundancy); at each rate
+// switch the budget resets; lower code rates and lower-order modulations
+// support higher Rm.
+func Fig9Capacity(cfg Fig9Config) (*Result, error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ch, err := channel.PositionB.NewVariant(false, 3)
+	if err != nil {
+		return nil, err
+	}
+	packets := scaled(cfg.PacketsPerTrial, cfg.Scale)
+	modes := phy.EvaluatedModes()
+
+	res := &Result{
+		ID:     "fig9",
+		Title:  "Maximum silence symbols per second (Rm) vs measured SNR",
+		XLabel: "measured SNR (dB)",
+		YLabel: "Rm (silence symbols/s)",
+	}
+
+	for mi, mode := range modes {
+		// The mode's measured-SNR band: its threshold up to the next
+		// mode's (or +3 dB for the fastest).
+		lo := mode.MinSNRdB + 0.3
+		hi := mode.MinSNRdB + 3
+		if mi+1 < len(modes) {
+			hi = modes[mi+1].MinSNRdB - 0.3
+		}
+		s := Series{Name: modeLabel(mode)}
+		for p := 0; p < cfg.PointsPerMode; p++ {
+			target := lo
+			if cfg.PointsPerMode > 1 {
+				target = lo + (hi-lo)*float64(p)/float64(cfg.PointsPerMode-1)
+			}
+			actual, err := calibrateActualSNR(ch, 0, mode, target, rng)
+			if err != nil {
+				return nil, err
+			}
+			budget, err := maxBudgetAtPRR(ch, actual, mode, cfg, packets, rng)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, target)
+			s.Y = append(s.Y, icos.SilencesPerSecond(budget, mode, cfg.PSDULen))
+		}
+		res.Add(s)
+	}
+	res.Note("PRR target %.3f over %d packets per trial; silence placement on weak detectable subcarriers; detected-mask erasure decoding", cfg.TargetPRR, packets)
+	return res, nil
+}
+
+// maxBudgetAtPRR binary-searches the largest silence budget whose PRR meets
+// the target.
+func maxBudgetAtPRR(ch *channel.TDL, actualSNR float64, mode phy.Mode, cfg Fig9Config, packets int, rng *rand.Rand) (int, error) {
+	nSym := mode.SymbolsForPSDU(cfg.PSDULen)
+	prrOK := func(budget int) (bool, error) {
+		if budget == 0 {
+			return true, nil
+		}
+		ctrlSCs, err := selectCtrlSCsForBudget(ch, 0, actualSNR, mode, nSym, budget, icos.DefaultBitsPerInterval, rng)
+		if err != nil {
+			return false, nil // no usable control subcarriers: budget unsustainable
+		}
+		allowed := int(float64(packets) * (1 - cfg.TargetPRR))
+		failures := 0
+		trial := cosTrialConfig{
+			mode:     mode,
+			psduLen:  cfg.PSDULen,
+			silences: budget,
+			k:        icos.DefaultBitsPerInterval,
+			ctrlSCs:  ctrlSCs,
+			detector: icos.Detector{Scheme: mode.Modulation},
+		}
+		for p := 0; p < packets; p++ {
+			r, err := runCoSTrial(ch, 0, actualSNR, trial, rng)
+			if err != nil {
+				// Oversized messages for the capacity mean the budget does
+				// not fit at all.
+				return false, nil
+			}
+			if !r.dataOK {
+				failures++
+				if failures > allowed {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+
+	lo, hi := 0, maxSilenceBudget // lo always feasible, hi presumed infeasible
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		ok, err := prrOK(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cos/internal/bits"
+	"cos/internal/channel"
+	icos "cos/internal/cos"
+	"cos/internal/ofdm"
+	"cos/internal/phy"
+)
+
+// probe pushes one known packet through ch at time t with the given true
+// SNR and returns the transmit/receive state for genie-aided measurement
+// (the experiments know the transmitted packet, exactly like the paper's
+// "fixed data packet whose symbol values are known to both the sender and
+// the receiver").
+type probeResult struct {
+	tx        *phy.TxPacket
+	fe        *phy.FrontEnd
+	nv        float64 // time-domain noise variance used
+	actualSNR float64
+}
+
+func probe(ch *channel.TDL, t float64, mode phy.Mode, psduLen int, actualSNR float64, rng *rand.Rand) (*probeResult, error) {
+	psdu := make([]byte, psduLen)
+	rng.Read(psdu)
+	tx, err := phy.BuildPacket(phy.TxConfig{Mode: mode}, psdu)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := tx.Samples()
+	if err != nil {
+		return nil, err
+	}
+	h := ch.FrequencyResponse(t)
+	nv, err := phy.NoiseVarForActualSNR(h, actualSNR)
+	if err != nil {
+		return nil, err
+	}
+	rx := ch.Apply(samples, t, nv, rng)
+	fe, err := phy.RunFrontEnd(rx)
+	if err != nil {
+		return nil, err
+	}
+	actual, err := phy.ActualSNRdB(h, nv)
+	if err != nil {
+		return nil, err
+	}
+	return &probeResult{tx: tx, fe: fe, nv: nv, actualSNR: actual}, nil
+}
+
+// calibrateActualSNR finds the true SNR that makes the receiver's measured
+// (NIC) SNR hit target on channel ch, by fixed-point iteration on the
+// measured-vs-actual offset.
+func calibrateActualSNR(ch *channel.TDL, t float64, mode phy.Mode, target float64, rng *rand.Rand) (float64, error) {
+	actual := target
+	for iter := 0; iter < 4; iter++ {
+		// Average a few probes per step: a single packet's measured-SNR
+		// report is noisy enough to leave a persistent calibration error.
+		var measured float64
+		const probes = 3
+		for i := 0; i < probes; i++ {
+			pr, err := probe(ch, t, mode, 256, actual, rng)
+			if err != nil {
+				return 0, err
+			}
+			m, err := pr.fe.MeasuredSNRdB()
+			if err != nil {
+				return 0, err
+			}
+			measured += m / probes
+		}
+		actual += target - measured
+		if diff := target - measured; diff < 0.1 && diff > -0.1 {
+			break
+		}
+	}
+	return actual, nil
+}
+
+// cosTrialConfig parameterizes one CoS packet trial.
+type cosTrialConfig struct {
+	mode      phy.Mode
+	psduLen   int
+	silences  int // total silence symbols to insert (0 = none)
+	k         int
+	ctrlSCs   []int
+	genieMask bool // decode with the true mask instead of the detected one
+	// ignoreErasures decodes without any erasure mask (the erasure-
+	// ignorant baseline of the EVD ablation).
+	ignoreErasures bool
+	detector       icos.Detector
+	// interferer, when non-nil, injects pulse interference into the
+	// received samples (Fig. 10(d)).
+	interferer *channel.PulseInterferer
+	// placement overrides interval-coded layout with an explicit silence
+	// position list (placement ablation); silences/k are ignored for
+	// control decoding when set.
+	placement []icos.Pos
+	// llrBits quantizes the decoder input (0 = float metrics).
+	llrBits int
+}
+
+// cosTrialResult reports one trial's outcome.
+type cosTrialResult struct {
+	dataOK    bool
+	ctrlOK    bool
+	detection icos.DetectionStats
+}
+
+// runCoSTrial sends one FCS-protected packet with an embedded random control
+// message sized to produce exactly cfg.silences silence symbols, then runs
+// the full receive pipeline.
+func runCoSTrial(ch *channel.TDL, t, actualSNR float64, cfg cosTrialConfig, rng *rand.Rand) (*cosTrialResult, error) {
+	payload := make([]byte, cfg.psduLen-bits.FCSLen)
+	rng.Read(payload)
+	psdu := bits.AppendFCS(payload)
+	tx, err := phy.BuildPacket(phy.TxConfig{Mode: cfg.mode}, psdu)
+	if err != nil {
+		return nil, err
+	}
+
+	var ctrl []byte
+	var truthMask [][]bool
+	switch {
+	case cfg.placement != nil:
+		truthMask, err = icos.InsertSilences(tx.Grid, cfg.placement)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.silences > 0:
+		nBits := (cfg.silences - 1) * cfg.k
+		if nBits < 0 {
+			nBits = 0
+		}
+		ctrl = make([]byte, nBits)
+		for i := range ctrl {
+			ctrl[i] = byte(rng.Intn(2))
+		}
+		truthMask, err = icos.Embed(tx, cfg.ctrlSCs, ctrl, cfg.k)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	samples, err := tx.Samples()
+	if err != nil {
+		return nil, err
+	}
+	h := ch.FrequencyResponse(t)
+	nv, err := phy.NoiseVarForActualSNR(h, actualSNR)
+	if err != nil {
+		return nil, err
+	}
+	rx := ch.Apply(samples, t, nv, rng)
+	if cfg.interferer != nil {
+		if _, err := cfg.interferer.Apply(rx, rng); err != nil {
+			return nil, err
+		}
+	}
+	fe, err := phy.RunFrontEnd(rx)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &cosTrialResult{}
+	var mask [][]bool
+	if cfg.placement != nil {
+		detMask, err := cfg.detector.DetectMask(fe, cfg.ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+		res.detection, err = icos.CompareMasks(truthMask, detMask, cfg.ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+		mask = detMask
+		if cfg.genieMask {
+			mask = truthMask
+		}
+	} else if cfg.silences > 0 {
+		ctrlBits, detMask, exErr := icos.ExtractControl(fe, cfg.ctrlSCs, cfg.detector, cfg.k)
+		if detMask == nil {
+			detMask, err = cfg.detector.DetectMask(fe, cfg.ctrlSCs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if exErr == nil && len(ctrlBits) >= len(ctrl) && bits.Equal(ctrlBits[:len(ctrl)], ctrl) {
+			res.ctrlOK = true
+		}
+		res.detection, err = icos.CompareMasks(truthMask, detMask, cfg.ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+		mask = detMask
+		if cfg.genieMask {
+			mask = truthMask
+		}
+	}
+
+	if cfg.ignoreErasures {
+		mask = nil
+	}
+	dec, err := fe.Decode(phy.DecodeConfig{Mode: cfg.mode, PSDULen: len(psdu), Erased: mask, LLRBits: cfg.llrBits})
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := bits.CheckFCS(dec.PSDU); ok {
+		res.dataOK = true
+	}
+	return res, nil
+}
+
+// selectCtrlSCsForBudget measures EVM and per-subcarrier SNR from a few
+// clean probes, then selects enough detectable control subcarriers to fit
+// `silences` silence symbols into a packet of nSym symbols with k bits per
+// interval (worst-case interval spacing). Averaging the probes matters: a
+// single packet's channel estimate is noisy enough at weak subcarriers to
+// let a borderline-undetectable subcarrier slip past the floor.
+func selectCtrlSCsForBudget(ch *channel.TDL, t, actualSNR float64, mode phy.Mode, nSym, silences, k int, rng *rand.Rand) ([]int, error) {
+	const probes = 3
+	evm := make([]float64, ofdm.NumData)
+	snrs := make([]float64, ofdm.NumData)
+	for i := 0; i < probes; i++ {
+		pr, err := probe(ch, t, mode, 256, actualSNR, rng)
+		if err != nil {
+			return nil, err
+		}
+		diag, err := phy.Diagnose(pr.tx, pr.fe, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		s, err := pr.fe.SubcarrierSNRs()
+		if err != nil {
+			return nil, err
+		}
+		for d := 0; d < ofdm.NumData; d++ {
+			evm[d] += diag.EVM[d] / probes
+			snrs[d] += s[d] / probes
+		}
+	}
+	// Worst-case positions needed: every interval at its maximum.
+	need := 1 + silences*(1<<k)
+	minCtrl := (need + nSym - 1) / nSym
+	if minCtrl < 4 {
+		minCtrl = 4
+	}
+	if minCtrl > 24 {
+		minCtrl = 24
+	}
+	sel, err := icos.SelectDetectable(evm, snrs, mode.Modulation, minCtrl, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if nSym*len(sel) < need {
+		return nil, fmt.Errorf("experiments: only %d detectable control subcarriers; %d silences need %d positions over %d symbols",
+			len(sel), silences, need, nSym)
+	}
+	return sel, nil
+}
+
+// modeLabel renders "(16QAM,3/4)" style labels used in Fig. 9.
+func modeLabel(m phy.Mode) string {
+	return fmt.Sprintf("(%v,%v)", m.Modulation, m.CodeRate)
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plotGlyphs mark successive series in an ASCII plot.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// WritePlot renders the result as an ASCII chart: every series scattered
+// into one width x height grid with shared axes. It is intentionally crude
+// — enough to eyeball a figure's shape in a terminal without any plotting
+// dependency; the CSV output remains the precise artifact.
+func (r *Result) WritePlot(w io.Writer, width, height int) error {
+	if width < 20 || height < 5 {
+		return fmt.Errorf("experiments: plot area %dx%d too small", width, height)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range r.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("experiments: series %q has mismatched lengths", s.Name)
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("experiments: nothing to plot")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range r.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			grid[row][col] = glyph
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBot := fmt.Sprintf("%.3g", ymin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.3g%*.3g   (x: %s, y: %s)\n",
+		strings.Repeat(" ", pad), width/2, xmin, width-width/2, xmax, r.XLabel, r.YLabel); err != nil {
+		return err
+	}
+	for si, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", plotGlyphs[si%len(plotGlyphs)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePlotResult() *Result {
+	r := &Result{ID: "test", Title: "demo", XLabel: "x", YLabel: "y"}
+	r.Add(Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	r.Add(Series{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}})
+	return r
+}
+
+func TestWritePlotBasics(t *testing.T) {
+	var b strings.Builder
+	if err := samplePlotResult().WritePlot(&b, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "up", "down", "*", "o", "(x: x, y: y)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' glyph appears in the top row region at the right.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+}
+
+func TestWritePlotErrors(t *testing.T) {
+	r := samplePlotResult()
+	var b strings.Builder
+	if err := r.WritePlot(&b, 5, 2); err == nil {
+		t.Error("tiny plot area should error")
+	}
+	empty := &Result{ID: "e", Title: "empty"}
+	if err := empty.WritePlot(&b, 40, 10); err == nil {
+		t.Error("empty result should error")
+	}
+	bad := &Result{ID: "b", Title: "bad", Series: []Series{{Name: "m", X: []float64{1}, Y: nil}}}
+	if err := bad.WritePlot(&b, 40, 10); err == nil {
+		t.Error("mismatched series should error")
+	}
+}
+
+func TestWritePlotDegenerateRange(t *testing.T) {
+	r := &Result{ID: "flat", Title: "flat"}
+	r.Add(Series{Name: "c", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}})
+	var b strings.Builder
+	if err := r.WritePlot(&b, 30, 6); err != nil {
+		t.Fatalf("flat series should still plot: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// runner produces a figure at a given scale (1 = publication quality).
+type runner func(scale float64) (*Result, error)
+
+// registry maps experiment IDs to their runners.
+var registry = map[string]runner{
+	"fig2": func(s float64) (*Result, error) {
+		cfg := Fig2Config{}
+		if s < 1 {
+			cfg.Variants = 2
+			cfg.Step = 2
+		}
+		return Fig2SNRGap(cfg)
+	},
+	"fig3": func(s float64) (*Result, error) {
+		return Fig3DecoderBER(Fig3Config{Scale: s})
+	},
+	"fig5": func(s float64) (*Result, error) {
+		return Fig5EVM(Fig5Config{Scale: s})
+	},
+	"fig6": func(s float64) (*Result, error) {
+		return Fig6ErrorPattern(Fig6Config{Scale: s})
+	},
+	"fig7": func(s float64) (*Result, error) {
+		return Fig7Temporal(Fig7Config{Scale: s})
+	},
+	"fig9": func(s float64) (*Result, error) {
+		cfg := Fig9Config{Scale: s}
+		if s < 1 {
+			cfg.PointsPerMode = 2
+		}
+		return Fig9Capacity(cfg)
+	},
+	"fig10a": func(s float64) (*Result, error) {
+		return Fig10aMagnitudes(Fig10aConfig{})
+	},
+	"fig10b": func(s float64) (*Result, error) {
+		cfg := Fig10bConfig{Scale: s}
+		if s < 1 {
+			cfg.Points = 13
+		}
+		return Fig10bThreshold(cfg)
+	},
+	"fig10c": func(s float64) (*Result, error) {
+		return Fig10cAccuracy(Fig10cConfig{Scale: s})
+	},
+	"fig10d": func(s float64) (*Result, error) {
+		cfg := Fig10cConfig{Scale: s}
+		if s < 1 {
+			cfg.SNRs = []float64{4, 8, 12, 16, 20}
+		}
+		return Fig10dInterference(cfg)
+	},
+	"ablation-evd": func(s float64) (*Result, error) {
+		return AblationEVD(AblationConfig{Scale: s})
+	},
+	"ablation-placement": func(s float64) (*Result, error) {
+		return AblationPlacement(AblationConfig{Scale: s})
+	},
+	"ablation-threshold": func(s float64) (*Result, error) {
+		return AblationThreshold(AblationConfig{Scale: s})
+	},
+	"ablation-quantization": func(s float64) (*Result, error) {
+		return AblationQuantization(AblationConfig{Scale: s})
+	},
+	"accuracy": func(s float64) (*Result, error) {
+		return ControlAccuracy(AblationConfig{Scale: s})
+	},
+}
+
+// IDs lists all experiment identifiers in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID at the given scale
+// (1 = publication quality; smaller values shrink sample sizes).
+func Run(id string, scale float64) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(scale)
+}

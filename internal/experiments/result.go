@@ -1,0 +1,97 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Figs. 2, 3, 5, 6, 7, 9, 10a-d) plus the ablations DESIGN.md calls for,
+// on top of the simulated 802.11a + CoS stack. The cmd/cos-figures binary
+// and the repository's benchmarks are thin wrappers over this package.
+//
+// Every experiment takes a config struct with a Scale knob: Scale 1 is the
+// publication-quality run; smaller scales shrink packet counts and sweep
+// resolutions proportionally for quick regression runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one named curve of an experiment result.
+type Series struct {
+	// Name labels the curve (legend entry).
+	Name string
+	// X and Y are the curve's coordinates; len(X) == len(Y).
+	X []float64
+	// Y holds the dependent values.
+	Y []float64
+}
+
+// Result is the output of one experiment: a set of curves plus metadata.
+type Result struct {
+	// ID is the figure identifier, e.g. "fig9".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the curves.
+	Series []Series
+	// Notes records caveats and substitutions relevant to interpretation.
+	Notes []string
+}
+
+// Add appends a curve.
+func (r *Result) Add(s Series) { r.Series = append(r.Series, s) }
+
+// Note appends an interpretation note.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteCSV renders the result as a long-format CSV: series,x,y.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# x=%s y=%s\n", r.XLabel, r.YLabel); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("experiments: series %q has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the CSV form.
+func (r *Result) String() string {
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		return fmt.Sprintf("experiments: %v", err)
+	}
+	return b.String()
+}
+
+// scaled returns max(1, round(base*scale)).
+func scaled(base int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(base)*scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultCSVFormat(t *testing.T) {
+	r := &Result{ID: "t", Title: "demo", XLabel: "x", YLabel: "y"}
+	r.Add(Series{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}})
+	r.Note("note %d", 7)
+	out := r.String()
+	for _, want := range []string{"# t: demo", "# x=x y=y", "# note: note 7", "series,x,y", "a,1,3", "a,2,4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultCSVRejectsMismatchedSeries(t *testing.T) {
+	r := &Result{ID: "t", Title: "bad"}
+	r.Add(Series{Name: "a", X: []float64{1}, Y: nil})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err == nil {
+		t.Error("mismatched series should error")
+	}
+	if !strings.Contains(r.String(), "experiments:") {
+		t.Error("String should surface the error")
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if got := scaled(100, 0.5); got != 50 {
+		t.Errorf("scaled(100,0.5) = %d", got)
+	}
+	if got := scaled(100, 0); got != 100 {
+		t.Errorf("scaled(100,0) = %d (zero scale means full)", got)
+	}
+	if got := scaled(3, 0.01); got != 1 {
+		t.Errorf("scaled(3,0.01) = %d, want floor of 1", got)
+	}
+}

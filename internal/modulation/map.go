@@ -1,0 +1,172 @@
+package modulation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Map converts one symbol's worth of coded bits (len = BitsPerSymbol) into a
+// normalized constellation point. Per 802.11a, the first half of the bits
+// selects the I axis and the second half the Q axis; BPSK uses only I.
+func (s Scheme) Map(symbolBits []byte) (complex128, error) {
+	m := s.BitsPerSymbol()
+	if m == 0 {
+		return 0, fmt.Errorf("modulation: invalid scheme %d", int(s))
+	}
+	if len(symbolBits) != m {
+		return 0, fmt.Errorf("modulation: %v needs %d bits per symbol, got %d", s, m, len(symbolBits))
+	}
+	for i, b := range symbolBits {
+		if b > 1 {
+			return 0, fmt.Errorf("modulation: element %d = %d is not a bit", i, b)
+		}
+	}
+	if s == BPSK {
+		return complex(float64(2*int(symbolBits[0])-1), 0), nil
+	}
+	half := m / 2
+	levels := axisLevels(half)
+	iIdx, qIdx := 0, 0
+	for k := 0; k < half; k++ {
+		iIdx = iIdx<<1 | int(symbolBits[k])
+		qIdx = qIdx<<1 | int(symbolBits[half+k])
+	}
+	norm := s.Norm()
+	return complex(levels[iIdx]*norm, levels[qIdx]*norm), nil
+}
+
+// MapBits modulates a bit stream (length a multiple of BitsPerSymbol) into
+// constellation points.
+func (s Scheme) MapBits(in []byte) ([]complex128, error) {
+	m := s.BitsPerSymbol()
+	if m == 0 {
+		return nil, fmt.Errorf("modulation: invalid scheme %d", int(s))
+	}
+	if len(in)%m != 0 {
+		return nil, fmt.Errorf("modulation: bit count %d is not a multiple of %d", len(in), m)
+	}
+	out := make([]complex128, 0, len(in)/m)
+	for i := 0; i < len(in); i += m {
+		pt, err := s.Map(in[i : i+m])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// hardAxis returns the axis bits (MSB-first) of the level nearest to x,
+// where x is in unnormalized integer units.
+func hardAxis(bitsPerAxis int, x float64) []byte {
+	levels := axisLevels(bitsPerAxis)
+	bestIdx, bestDist := 0, math.Inf(1)
+	for idx, lv := range levels {
+		d := (x - lv) * (x - lv)
+		if d < bestDist {
+			bestDist = d
+			bestIdx = idx
+		}
+	}
+	out := make([]byte, bitsPerAxis)
+	for i := 0; i < bitsPerAxis; i++ {
+		out[i] = byte((bestIdx >> (bitsPerAxis - 1 - i)) & 1)
+	}
+	return out
+}
+
+// HardDemap returns the bits of the constellation point nearest to y.
+func (s Scheme) HardDemap(y complex128) ([]byte, error) {
+	m := s.BitsPerSymbol()
+	if m == 0 {
+		return nil, fmt.Errorf("modulation: invalid scheme %d", int(s))
+	}
+	if s == BPSK {
+		if real(y) >= 0 {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	}
+	norm := s.Norm()
+	half := m / 2
+	out := make([]byte, 0, m)
+	out = append(out, hardAxis(half, real(y)/norm)...)
+	out = append(out, hardAxis(half, imag(y)/norm)...)
+	return out, nil
+}
+
+// NearestPoint returns the normalized constellation point closest to y.
+func (s Scheme) NearestPoint(y complex128) (complex128, error) {
+	bits, err := s.HardDemap(y)
+	if err != nil {
+		return 0, err
+	}
+	return s.Map(bits)
+}
+
+// SoftDemap computes max-log bit metrics for one received point (Eq. (8)):
+//
+//	lambda_i = [ min_{x in chi_0^i} |y-x|^2 - min_{x in chi_1^i} |y-x|^2 ] / N0
+//
+// Positive metrics favor bit 1. noiseVar is the complex noise variance N0;
+// values below a small floor are clamped to keep metrics finite. The Gray
+// mapping is I/Q-separable, so each axis is searched independently.
+func (s Scheme) SoftDemap(y complex128, noiseVar float64) ([]float64, error) {
+	m := s.BitsPerSymbol()
+	if m == 0 {
+		return nil, fmt.Errorf("modulation: invalid scheme %d", int(s))
+	}
+	const minNoiseVar = 1e-9
+	if noiseVar < minNoiseVar {
+		noiseVar = minNoiseVar
+	}
+	if s == BPSK {
+		// chi_0 = {-1}, chi_1 = {+1}: LLR = ((re+1)^2 - (re-1)^2)/N0.
+		return []float64{4 * real(y) / noiseVar}, nil
+	}
+	half := m / 2
+	out := make([]float64, 0, m)
+	out = append(out, softAxis(half, real(y), s.Norm(), noiseVar)...)
+	out = append(out, softAxis(half, imag(y), s.Norm(), noiseVar)...)
+	return out, nil
+}
+
+// softAxis computes the per-bit max-log metrics of one axis.
+func softAxis(bitsPerAxis int, y, norm, noiseVar float64) []float64 {
+	levels := axisLevels(bitsPerAxis)
+	out := make([]float64, bitsPerAxis)
+	for bit := 0; bit < bitsPerAxis; bit++ {
+		shift := bitsPerAxis - 1 - bit // bit 0 is the MSB of the axis index
+		min0, min1 := math.Inf(1), math.Inf(1)
+		for idx, lv := range levels {
+			d := y - lv*norm
+			d *= d
+			if (idx>>shift)&1 == 0 {
+				if d < min0 {
+					min0 = d
+				}
+			} else if d < min1 {
+				min1 = d
+			}
+		}
+		out[bit] = (min0 - min1) / noiseVar
+	}
+	return out
+}
+
+// DemapBits hard-demaps a sequence of received points into a bit stream.
+func (s Scheme) DemapBits(ys []complex128) ([]byte, error) {
+	m := s.BitsPerSymbol()
+	if m == 0 {
+		return nil, fmt.Errorf("modulation: invalid scheme %d", int(s))
+	}
+	out := make([]byte, 0, len(ys)*m)
+	for _, y := range ys {
+		b, err := s.HardDemap(y)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}

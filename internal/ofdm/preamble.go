@@ -1,0 +1,115 @@
+package ofdm
+
+import (
+	"fmt"
+	"math"
+
+	"cos/internal/dsp"
+)
+
+// Preamble lengths in samples (17.3.3): ten repetitions of a 16-sample short
+// symbol, then a double-length guard plus two 64-sample long symbols.
+const (
+	ShortPreambleLen = 160
+	LongPreambleLen  = 160
+	PreambleLen      = ShortPreambleLen + LongPreambleLen
+)
+
+// longSeq is the frequency-domain long training sequence L_{-26..26}
+// (17.3.3, equation 17-8), indexed 0..52 for logical subcarriers -26..26.
+var longSeq = [53]int8{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+	0,
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+}
+
+// LongTrainingValue returns L_k for logical subcarrier k (-26..26); zero for
+// subcarriers outside the occupied set.
+func LongTrainingValue(k int) complex128 {
+	if k < -26 || k > 26 {
+		return 0
+	}
+	return complex(float64(longSeq[k+26]), 0)
+}
+
+// shortSeq returns the frequency-domain short training sequence S_k for
+// logical subcarrier k. Nonzero only at multiples of 4 (17.3.3, eq. 17-6).
+func shortSeq(k int) complex128 {
+	scale := complex(math.Sqrt(13.0/6.0), 0)
+	pp := scale * complex(1, 1)   // +(1+j)
+	pm := scale * complex(-1, -1) // -(1+j)
+	switch k {
+	case -24, -16, -4, 12, 16, 20, 24:
+		return pp
+	case -20, -12, -8, 4, 8:
+		return pm
+	default:
+		return 0
+	}
+}
+
+// longTimeSymbol caches one 64-sample long training symbol.
+var longTimeSymbol = buildLongTimeSymbol()
+
+func buildLongTimeSymbol() []complex128 {
+	bins := make([]complex128, NumSubcarriers)
+	for k := -26; k <= 26; k++ {
+		bin, _ := Bin(k)
+		bins[bin] = LongTrainingValue(k)
+	}
+	td, _ := dsp.IFFT(bins)
+	return td
+}
+
+// shortTimeSymbol caches one 16-sample short training repetition.
+var shortTimeSymbol = buildShortTimeSymbol()
+
+func buildShortTimeSymbol() []complex128 {
+	bins := make([]complex128, NumSubcarriers)
+	for k := -26; k <= 26; k++ {
+		if v := shortSeq(k); v != 0 {
+			bin, _ := Bin(k)
+			bins[bin] = v
+		}
+	}
+	td, _ := dsp.IFFT(bins)
+	// The short training symbol is periodic with period 16; one period
+	// suffices to tile the 160-sample field.
+	return td[:16]
+}
+
+// Preamble returns the 320-sample 802.11a PLCP preamble: the short training
+// field (10 x 16 samples) followed by the long training field (32-sample
+// guard + 2 x 64-sample long symbols).
+func Preamble() []complex128 {
+	out := make([]complex128, 0, PreambleLen)
+	for i := 0; i < 10; i++ {
+		out = append(out, shortTimeSymbol...)
+	}
+	// GI2: the last 32 samples of the long symbol.
+	out = append(out, longTimeSymbol[NumSubcarriers-32:]...)
+	out = append(out, longTimeSymbol...)
+	out = append(out, longTimeSymbol...)
+	return out
+}
+
+// LongTrainingObservations FFTs the two long training symbols out of a
+// received preamble and returns their raw bins. The receiver averages them
+// for the LS channel estimate and differences them for a noise estimate.
+func LongTrainingObservations(preamble []complex128) (first, second Bins, err error) {
+	if len(preamble) < PreambleLen {
+		return first, second, fmt.Errorf("ofdm: preamble too short: %d samples, need %d", len(preamble), PreambleLen)
+	}
+	base := ShortPreambleLen + 32
+	f1, err := dsp.FFT(preamble[base : base+NumSubcarriers])
+	if err != nil {
+		return first, second, err
+	}
+	f2, err := dsp.FFT(preamble[base+NumSubcarriers : base+2*NumSubcarriers])
+	if err != nil {
+		return first, second, err
+	}
+	copy(first[:], f1)
+	copy(second[:], f2)
+	return first, second, nil
+}

@@ -1,0 +1,113 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"cos/internal/dsp"
+)
+
+func TestPreambleLength(t *testing.T) {
+	p := Preamble()
+	if len(p) != PreambleLen {
+		t.Fatalf("preamble length %d, want %d", len(p), PreambleLen)
+	}
+	if PreambleLen != 320 {
+		t.Fatalf("PreambleLen = %d, want 320", PreambleLen)
+	}
+}
+
+func TestShortTrainingPeriodicity(t *testing.T) {
+	p := Preamble()
+	stf := p[:ShortPreambleLen]
+	for i := 16; i < len(stf); i++ {
+		if cmplx.Abs(stf[i]-stf[i-16]) > 1e-12 {
+			t.Fatalf("STF not 16-periodic at sample %d", i)
+		}
+	}
+}
+
+func TestLongTrainingRepetition(t *testing.T) {
+	p := Preamble()
+	ltf := p[ShortPreambleLen:]
+	first := ltf[32 : 32+64]
+	second := ltf[32+64 : 32+128]
+	for i := range first {
+		if cmplx.Abs(first[i]-second[i]) > 1e-12 {
+			t.Fatalf("LTF symbols differ at sample %d", i)
+		}
+	}
+	// GI2 is the tail of the long symbol.
+	for i := 0; i < 32; i++ {
+		if cmplx.Abs(ltf[i]-first[32+i]) > 1e-12 {
+			t.Fatalf("GI2 mismatch at sample %d", i)
+		}
+	}
+}
+
+func TestLongTrainingValues(t *testing.T) {
+	// Spot values from the standard's sequence.
+	cases := map[int]float64{-26: 1, -25: 1, -24: -1, -1: 1, 1: 1, 2: -1, 26: 1, 0: 0, 27: 0, -27: 0}
+	for k, want := range cases {
+		if got := LongTrainingValue(k); got != complex(want, 0) {
+			t.Errorf("L[%d] = %v, want %v", k, got, want)
+		}
+	}
+	// All occupied subcarriers are +-1.
+	n := 0
+	for k := -26; k <= 26; k++ {
+		v := LongTrainingValue(k)
+		if k == 0 {
+			continue
+		}
+		if real(v) != 1 && real(v) != -1 {
+			t.Errorf("L[%d] = %v, want +-1", k, v)
+		}
+		n++
+	}
+	if n != 52 {
+		t.Errorf("occupied LTF subcarriers = %d, want 52", n)
+	}
+}
+
+func TestLongTrainingObservationsRecoverSequence(t *testing.T) {
+	first, second, err := LongTrainingObservations(Preamble())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := -26; k <= 26; k++ {
+		bin, _ := Bin(k)
+		want := LongTrainingValue(k)
+		if cmplx.Abs(first[bin]-want) > 1e-9 || cmplx.Abs(second[bin]-want) > 1e-9 {
+			t.Fatalf("LTF bin %d: got %v/%v, want %v", k, first[bin], second[bin], want)
+		}
+	}
+}
+
+func TestLongTrainingObservationsShortInput(t *testing.T) {
+	if _, _, err := LongTrainingObservations(make([]complex128, 100)); err == nil {
+		t.Error("want error for short preamble")
+	}
+}
+
+func TestPreambleAveragePowerMatchesData(t *testing.T) {
+	// The preamble should have power within a small factor of a data
+	// symbol's, so AGC/SNR estimates from the preamble transfer to data.
+	p := Preamble()
+	pre := dsp.Power(p[ShortPreambleLen+32:]) // the two long symbols
+	g := NewGrid(1)
+	row, _ := g.Symbol(0)
+	for i := range row {
+		row[i] = 1 // unit-power data
+	}
+	s, err := g.Modulate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dsp.Power(s)
+	ratio := pre / data
+	if math.Abs(ratio-1) > 0.25 {
+		t.Errorf("LTF/data power ratio = %v, want ~1", ratio)
+	}
+}

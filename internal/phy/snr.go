@@ -1,0 +1,45 @@
+package phy
+
+import (
+	"fmt"
+
+	"cos/internal/dsp"
+	"cos/internal/ofdm"
+)
+
+// MeanChannelGain returns the arithmetic mean of |H_k|^2 over the 52
+// occupied subcarriers.
+func MeanChannelGain(h [ofdm.NumSubcarriers]complex128) float64 {
+	var sum float64
+	n := 0
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		bin, _ := ofdm.Bin(k)
+		sum += dsp.MagSq(h[bin])
+		n++
+	}
+	return sum / float64(n)
+}
+
+// ActualSNRdB returns the true channel SNR — what the paper's channel
+// sounder measures — given the exact frequency response and the time-domain
+// noise variance: the arithmetic-mean subcarrier SNR in dB. Post-FFT noise
+// variance is NumSubcarriers times the per-sample variance.
+func ActualSNRdB(h [ofdm.NumSubcarriers]complex128, timeNoiseVar float64) (float64, error) {
+	if timeNoiseVar <= 0 {
+		return 0, fmt.Errorf("phy: non-positive noise variance %v", timeNoiseVar)
+	}
+	return dsp.DB(MeanChannelGain(h) / (ofdm.NumSubcarriers * timeNoiseVar)), nil
+}
+
+// NoiseVarForActualSNR inverts ActualSNRdB: the time-domain noise variance
+// that produces the requested true subcarrier-average SNR over channel h.
+func NoiseVarForActualSNR(h [ofdm.NumSubcarriers]complex128, snrDB float64) (float64, error) {
+	gain := MeanChannelGain(h)
+	if gain <= 0 {
+		return 0, fmt.Errorf("phy: channel has zero gain")
+	}
+	return gain / (ofdm.NumSubcarriers * dsp.Linear(snrDB)), nil
+}

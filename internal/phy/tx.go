@@ -1,0 +1,169 @@
+package phy
+
+import (
+	"fmt"
+
+	"cos/internal/bits"
+	"cos/internal/coding"
+	"cos/internal/modulation"
+	"cos/internal/ofdm"
+)
+
+// serviceBits is the length of the 802.11a SERVICE field (16 zero bits; the
+// first 7 synchronize the descrambler).
+const serviceBits = 16
+
+// DefaultScramblerSeed is the scrambler initial state used when a TxConfig
+// does not specify one.
+const DefaultScramblerSeed = 0x5D
+
+// TxConfig configures a transmission.
+type TxConfig struct {
+	// Mode is the 802.11a transmission mode.
+	Mode Mode
+	// ScramblerSeed is the 7-bit scrambler initial state; zero selects
+	// DefaultScramblerSeed. Both ends of a link must agree (the standard
+	// carries the seed in the SERVICE field; we fix it per link).
+	ScramblerSeed byte
+}
+
+func (c TxConfig) seed() byte {
+	if c.ScramblerSeed == 0 {
+		return DefaultScramblerSeed
+	}
+	return c.ScramblerSeed
+}
+
+// Validate reports configuration errors.
+func (c TxConfig) Validate() error {
+	if !c.Mode.Valid() {
+		return fmt.Errorf("phy: invalid mode %+v", c.Mode)
+	}
+	return nil
+}
+
+// TxPacket is a fully built transmission, exposed at the grid stage so the
+// CoS power controller can erase symbols before OFDM modulation.
+type TxPacket struct {
+	// Config echoes the transmit configuration.
+	Config TxConfig
+	// PSDU is the MAC payload carried by the packet.
+	PSDU []byte
+	// Grid holds the frequency-domain data symbols. Mutating it (e.g.
+	// zeroing elements to create silence symbols) affects Samples().
+	Grid *ofdm.Grid
+	// CodedBits are the interleaved, punctured coded bits in transmission
+	// order — the ground truth for decoder-input BER measurements.
+	CodedBits []byte
+	// ScrambledBits are the scrambled data bits fed to the encoder
+	// (SERVICE + PSDU + tail + pad).
+	ScrambledBits []byte
+}
+
+// NumSymbols returns the number of payload OFDM symbols.
+func (p *TxPacket) NumSymbols() int { return p.Grid.NumSymbols() }
+
+// BuildPacket runs the 802.11a transmit chain up to the frequency-domain
+// grid: SERVICE + PSDU + tail + pad, scramble, convolutionally encode,
+// puncture, interleave, and map onto constellation points.
+func BuildPacket(cfg TxConfig, psdu []byte) (*TxPacket, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.Mode
+
+	// Assemble data bits: SERVICE (16 zeros) + PSDU + 6 tail zeros, padded
+	// to a whole number of OFDM symbols.
+	nSym := m.SymbolsForPSDU(len(psdu))
+	total := nSym * m.NDBPS()
+	data := make([]byte, 0, total)
+	data = append(data, make([]byte, serviceBits)...)
+	data = append(data, bits.FromBytes(psdu)...)
+	data = append(data, make([]byte, total-len(data))...)
+
+	// Scramble everything, then zero the tail bits so the encoder is
+	// flushed to the zero state (17.3.5.3). The pad bits after the tail are
+	// zeroed as well — unlike the standard, which transmits them scrambled —
+	// so the trellis stays terminated through the end of the block; pad bits
+	// carry no information either way.
+	scr := bits.NewScrambler(cfg.seed())
+	scrambled := scr.Scramble(data)
+	tailStart := serviceBits + 8*len(psdu)
+	for i := tailStart; i < len(scrambled); i++ {
+		scrambled[i] = 0
+	}
+
+	coded, err := coding.ConvEncode(scrambled)
+	if err != nil {
+		return nil, err
+	}
+	punctured, err := coding.Puncture(coded, m.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	il, err := coding.NewInterleaver(m.NCBPS(), m.NBPSC())
+	if err != nil {
+		return nil, err
+	}
+	interleaved, err := coding.Interleave(il, punctured)
+	if err != nil {
+		return nil, err
+	}
+	points, err := m.Modulation.MapBits(interleaved)
+	if err != nil {
+		return nil, err
+	}
+	if len(points) != nSym*ofdm.NumData {
+		return nil, fmt.Errorf("phy: internal error: %d points for %d symbols", len(points), nSym)
+	}
+	grid := ofdm.NewGrid(nSym)
+	for s := 0; s < nSym; s++ {
+		row, err := grid.Symbol(s)
+		if err != nil {
+			return nil, err
+		}
+		copy(row, points[s*ofdm.NumData:(s+1)*ofdm.NumData])
+	}
+	return &TxPacket{
+		Config:        cfg,
+		PSDU:          append([]byte(nil), psdu...),
+		Grid:          grid,
+		CodedBits:     interleaved,
+		ScrambledBits: scrambled,
+	}, nil
+}
+
+// Samples renders the packet to baseband time-domain samples: the 320-sample
+// PLCP preamble followed by the cyclic-prefixed OFDM payload symbols. Call
+// after any grid mutation (silence insertion).
+func (p *TxPacket) Samples() ([]complex128, error) {
+	payload, err := p.Grid.Modulate(1) // data symbols start at pilot index 1
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, ofdm.PreambleLen+len(payload))
+	out = append(out, ofdm.Preamble()...)
+	out = append(out, payload...)
+	return out, nil
+}
+
+// ReconstructGrid rebuilds the transmitted frequency-domain grid from a
+// correctly decoded PSDU. This is how the paper's receiver obtains ideal
+// constellation points for EVM after a CRC pass (Sec. III-D): re-map the
+// decoded bits rather than assume genie knowledge.
+func ReconstructGrid(cfg TxConfig, psdu []byte) (*ofdm.Grid, error) {
+	pkt, err := BuildPacket(cfg, psdu)
+	if err != nil {
+		return nil, err
+	}
+	return pkt.Grid, nil
+}
+
+// mapperFor returns the interleaver for a mode (shared by RX).
+func mapperFor(m Mode) (*coding.Interleaver, modulation.Scheme, error) {
+	il, err := coding.NewInterleaver(m.NCBPS(), m.NBPSC())
+	if err != nil {
+		return nil, 0, err
+	}
+	return il, m.Modulation, nil
+}

@@ -1,0 +1,184 @@
+// Package trace records link sessions as JSON-lines event streams and
+// computes offline statistics over them. A trace decouples *running* a
+// (slow, simulated) radio session from *analyzing* it: capture once with
+// cos-sim -trace, then slice delivery rates, detection accuracy, or control
+// throughput without re-simulating.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cos"
+)
+
+// Event is one packet exchange, flattened for serialization.
+type Event struct {
+	// Seq is the 0-based packet index within the session.
+	Seq int `json:"seq"`
+	// Time is the simulation timestamp in seconds.
+	Time float64 `json:"time"`
+	// RateMbps is the data mode used.
+	RateMbps int `json:"rate_mbps"`
+	// DataOK reports FCS success.
+	DataOK bool `json:"data_ok"`
+	// DataBytes is the payload size.
+	DataBytes int `json:"data_bytes"`
+	// ControlBits is the number of control bits embedded (0 = none).
+	ControlBits int `json:"control_bits"`
+	// ControlOK reports control delivery (genie comparison).
+	ControlOK bool `json:"control_ok"`
+	// ControlVerified reports CRC-framing validation.
+	ControlVerified bool `json:"control_verified"`
+	// Silences is the silence-symbol count inserted.
+	Silences int `json:"silences"`
+	// FalsePositives / FalseNegatives are the detector's errors.
+	FalsePositives int `json:"false_positives"`
+	FalseNegatives int `json:"false_negatives"`
+	// MeasuredSNRdB / ActualSNRdB are the SNR observations.
+	MeasuredSNRdB float64 `json:"measured_snr_db"`
+	ActualSNRdB   float64 `json:"actual_snr_db"`
+	// ControlSubcarriers is the control set used.
+	ControlSubcarriers []int `json:"control_subcarriers,omitempty"`
+}
+
+// FromExchange flattens a link exchange into an event.
+func FromExchange(seq int, ex *cos.Exchange, dataBytes int) Event {
+	return Event{
+		Seq:                seq,
+		Time:               ex.Time,
+		RateMbps:           ex.Mode.RateMbps,
+		DataOK:             ex.DataOK,
+		DataBytes:          dataBytes,
+		ControlBits:        len(ex.ControlSent),
+		ControlOK:          ex.ControlOK,
+		ControlVerified:    ex.ControlVerified,
+		Silences:           ex.SilencesInserted,
+		FalsePositives:     ex.Detection.FalsePositives,
+		FalseNegatives:     ex.Detection.FalseNegatives,
+		MeasuredSNRdB:      ex.MeasuredSNRdB,
+		ActualSNRdB:        ex.ActualSNRdB,
+		ControlSubcarriers: ex.ControlSubcarriers,
+	}
+}
+
+// Writer streams events as JSON lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one event.
+func (t *Writer) Write(e Event) error {
+	if err := t.enc.Encode(e); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (t *Writer) Count() int { return t.n }
+
+// Flush drains buffered output; call before closing the underlying file.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Read loads every event from a JSON-lines stream.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	// Events is the packet count.
+	Events int
+	// DataPRR is the fraction of packets whose data survived.
+	DataPRR float64
+	// ControlAttempts counts packets that carried control bits.
+	ControlAttempts int
+	// ControlDelivery is the fraction of attempts delivered (genie).
+	ControlDelivery float64
+	// ControlVerifiedRate is the fraction of attempts CRC-verified.
+	ControlVerifiedRate float64
+	// ControlBitsDelivered totals delivered control payload bits.
+	ControlBitsDelivered int
+	// ControlThroughputBps is delivered control bits over the session span.
+	ControlThroughputBps float64
+	// SilencesTotal counts inserted silence symbols.
+	SilencesTotal int
+	// FPRate and FNRate are detector error totals normalized by scanned
+	// silences/normals... approximated per packet counts here.
+	FalsePositives, FalseNegatives int
+	// MeanMeasuredSNRdB averages the NIC SNR reports.
+	MeanMeasuredSNRdB float64
+	// RateHistogram counts packets per data rate.
+	RateHistogram map[int]int
+}
+
+// Summarize computes aggregate statistics over events.
+func Summarize(events []Event) (*Summary, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	s := &Summary{Events: len(events), RateHistogram: map[int]int{}}
+	dataOK := 0
+	ctrlOK, ctrlVerified := 0, 0
+	var snrSum float64
+	var tMin, tMax float64
+	for i, e := range events {
+		if e.DataOK {
+			dataOK++
+		}
+		if e.ControlBits > 0 {
+			s.ControlAttempts++
+			if e.ControlOK {
+				ctrlOK++
+				s.ControlBitsDelivered += e.ControlBits
+			}
+			if e.ControlVerified {
+				ctrlVerified++
+			}
+		}
+		s.SilencesTotal += e.Silences
+		s.FalsePositives += e.FalsePositives
+		s.FalseNegatives += e.FalseNegatives
+		snrSum += e.MeasuredSNRdB
+		s.RateHistogram[e.RateMbps]++
+		if i == 0 || e.Time < tMin {
+			tMin = e.Time
+		}
+		if i == 0 || e.Time > tMax {
+			tMax = e.Time
+		}
+	}
+	s.DataPRR = float64(dataOK) / float64(len(events))
+	if s.ControlAttempts > 0 {
+		s.ControlDelivery = float64(ctrlOK) / float64(s.ControlAttempts)
+		s.ControlVerifiedRate = float64(ctrlVerified) / float64(s.ControlAttempts)
+	}
+	s.MeanMeasuredSNRdB = snrSum / float64(len(events))
+	if span := tMax - tMin; span > 0 {
+		s.ControlThroughputBps = float64(s.ControlBitsDelivered) / span
+	}
+	return s, nil
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cos"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Seq: 0, Time: 0.000, RateMbps: 6, DataOK: true, DataBytes: 1024},
+		{Seq: 1, Time: 0.002, RateMbps: 24, DataOK: true, DataBytes: 1024,
+			ControlBits: 16, ControlOK: true, ControlVerified: true, Silences: 5,
+			MeasuredSNRdB: 15},
+		{Seq: 2, Time: 0.004, RateMbps: 24, DataOK: false, DataBytes: 1024,
+			ControlBits: 16, Silences: 5, FalseNegatives: 1, MeasuredSNRdB: 14},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	for _, e := range sampleEvents() {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d events", len(got))
+	}
+	if got[1].ControlBits != 16 || !got[1].ControlVerified || got[2].FalseNegatives != 1 {
+		t.Errorf("event contents lost: %+v", got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"seq\":0}\nnot json\n")); err == nil {
+		t.Error("garbage line should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize(sampleEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 3 {
+		t.Errorf("Events = %d", s.Events)
+	}
+	if s.DataPRR < 0.66 || s.DataPRR > 0.67 {
+		t.Errorf("DataPRR = %v", s.DataPRR)
+	}
+	if s.ControlAttempts != 2 || s.ControlDelivery != 0.5 || s.ControlVerifiedRate != 0.5 {
+		t.Errorf("control stats: %+v", s)
+	}
+	if s.ControlBitsDelivered != 16 {
+		t.Errorf("bits delivered = %d", s.ControlBitsDelivered)
+	}
+	// 16 bits over 4 ms.
+	if s.ControlThroughputBps < 3999 || s.ControlThroughputBps > 4001 {
+		t.Errorf("throughput = %v", s.ControlThroughputBps)
+	}
+	if s.RateHistogram[24] != 2 || s.RateHistogram[6] != 1 {
+		t.Errorf("rate histogram: %v", s.RateHistogram)
+	}
+	if s.SilencesTotal != 10 || s.FalseNegatives != 1 {
+		t.Errorf("silence/detector totals: %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty trace should error")
+	}
+}
+
+func TestFromExchangeEndToEnd(t *testing.T) {
+	link, err := cos.NewLink(cos.WithSNR(20), cos.WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 512)
+	rand.New(rand.NewSource(78)).Read(data)
+	var b strings.Builder
+	w := NewWriter(&b)
+	for i := 0; i < 5; i++ {
+		ex, err := link.Send(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(FromExchange(i, ex, len(data))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 5 || s.DataPRR < 0.99 {
+		t.Errorf("summary of clean session: %+v", s)
+	}
+	if s.MeanMeasuredSNRdB < 5 {
+		t.Errorf("mean measured SNR %v implausible", s.MeanMeasuredSNRdB)
+	}
+}

@@ -1,0 +1,488 @@
+package cos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cos/internal/bits"
+	"cos/internal/channel"
+	icos "cos/internal/cos"
+	"cos/internal/ofdm"
+	"cos/internal/phy"
+)
+
+// Link is a simulated CoS sender/receiver pair over an indoor channel. It
+// carries the closed loop of the paper's Fig. 8: the receiver measures
+// per-subcarrier EVM from each correctly decoded packet and feeds the
+// selected control subcarriers (and its measured SNR) back to the sender,
+// which adapts both the data rate and the control-message rate.
+//
+// Create a Link with NewLink and push packets through it with Send.
+// A Link is not safe for concurrent use.
+type Link struct {
+	cfg     config
+	ch      *channel.TDL
+	rng     *rand.Rand
+	rateTbl *icos.RateTable
+	now     float64
+
+	// Receiver feedback state (valid after the first successful packet).
+	haveFeedback bool
+	// noDetectable records that the last feedback found no subcarrier on
+	// which silences could be detected: CoS pauses (budget 0) rather than
+	// falling back to the bootstrap set on a channel known to be hostile.
+	noDetectable bool
+	ctrlSCs      []int
+	measuredSNR  float64
+	lastEVM      []float64
+	lastSCSNRs   []float64
+}
+
+// Exchange reports everything observable about one packet exchange.
+type Exchange struct {
+	// Mode is the 802.11a mode the sender selected.
+	Mode phy.Mode
+	// DataOK reports whether the data payload passed its frame check.
+	DataOK bool
+	// Data is the decoded payload (nil when DataOK is false).
+	Data []byte
+	// ControlSent is the control bit string actually embedded (empty when
+	// the budget allowed none or CoS is disabled).
+	ControlSent []byte
+	// ControlReceived is the control bit string the receiver extracted; it
+	// may be longer than ControlSent if trailing noise decoded as extra
+	// intervals, or nil if extraction failed outright.
+	ControlReceived []byte
+	// ControlOK reports whether ControlReceived starts with ControlSent.
+	ControlOK bool
+	// ControlVerified reports whether the receiver validated the control
+	// message through its framing CRC — the receiver-side truth available
+	// without knowing the sent bits. Always false unless the link was built
+	// with WithControlFraming.
+	ControlVerified bool
+	// ControlPayload is the CRC-validated payload when ControlVerified.
+	ControlPayload []byte
+	// SilencesInserted is the number of silence symbols the sender used.
+	SilencesInserted int
+	// ControlSubcarriers is the subcarrier set used for this packet.
+	ControlSubcarriers []int
+	// Detection is the energy detector's accuracy against ground truth.
+	Detection icos.DetectionStats
+	// MeasuredSNRdB is the receiver NIC's SNR estimate for this packet.
+	MeasuredSNRdB float64
+	// ActualSNRdB is the channel-sounder (ground truth) SNR.
+	ActualSNRdB float64
+	// Time is the simulation time at which the packet was sent.
+	Time float64
+}
+
+// NewLink builds a link from options. The zero-option link is PositionB,
+// static, 18 dB SNR, adaptive everything.
+func NewLink(opts ...Option) (*Link, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.fixedRateMbps != 0 {
+		if _, err := phy.ModeByRate(cfg.fixedRateMbps); err != nil {
+			return nil, err
+		}
+	}
+	ch, err := cfg.position.NewVariant(cfg.mobile, cfg.variant)
+	if err != nil {
+		return nil, err
+	}
+	return &Link{
+		cfg:     cfg,
+		ch:      ch,
+		rng:     rand.New(rand.NewSource(cfg.seed)),
+		rateTbl: icos.DefaultRateTable(),
+	}, nil
+}
+
+// Now returns the link's simulation clock in seconds.
+func (l *Link) Now() float64 { return l.now }
+
+// mode returns the data mode for the next packet.
+func (l *Link) mode() (phy.Mode, error) {
+	if l.cfg.fixedRateMbps != 0 {
+		return phy.ModeByRate(l.cfg.fixedRateMbps)
+	}
+	if !l.haveFeedback {
+		// No feedback yet: most robust mode.
+		return phy.ModeByRate(6)
+	}
+	return phy.SelectMode(l.measuredSNR), nil
+}
+
+// silenceBudget returns the per-packet silence budget for the next packet.
+func (l *Link) silenceBudget() int {
+	if !l.cfg.adaptiveBudget {
+		return l.cfg.silenceBudget
+	}
+	if !l.haveFeedback {
+		// Sec. III-F: without feedback (e.g. after a loss) use the lowest
+		// control rate.
+		return l.rateTbl.Fallback()
+	}
+	snr := l.measuredSNR
+	if l.cfg.fixedRateMbps != 0 {
+		// The budget table is calibrated against the adaptive SNR->mode
+		// mapping. With a pinned rate, clamp the lookup into that mode's
+		// band: above the band the pinned mode has *more* headroom than the
+		// adaptive mode the table assumes, so the band-top budget is a
+		// conservative choice.
+		snr = clampToBand(snr, l.cfg.fixedRateMbps)
+	}
+	return l.rateTbl.Lookup(snr)
+}
+
+// clampToBand bounds a measured SNR into the adaptation band of the given
+// rate: [its threshold, just below the next mode's threshold].
+func clampToBand(snr float64, rateMbps int) float64 {
+	modes := phy.Modes()
+	for i, m := range modes {
+		if m.RateMbps != rateMbps {
+			continue
+		}
+		lo := m.MinSNRdB
+		hi := snr
+		if i+1 < len(modes) {
+			hi = modes[i+1].MinSNRdB - 0.1
+		}
+		if snr < lo {
+			return lo
+		}
+		if snr > hi {
+			return hi
+		}
+		return snr
+	}
+	return snr
+}
+
+// MaxControlBits reports how many control bits the next Send can embed for
+// a payload of dataLen bytes, accounting for the current budget, the
+// control subcarrier set, and worst-case interval layout.
+func (l *Link) MaxControlBits(dataLen int) (int, error) {
+	if l.cfg.disableCoS || l.noDetectable {
+		return 0, nil
+	}
+	mode, err := l.mode()
+	if err != nil {
+		return 0, err
+	}
+	budget := l.silenceBudget()
+	k := l.cfg.bitsPerInterval
+	byBudget := (budget - 1) * k
+	if byBudget < 0 {
+		byBudget = 0
+	}
+	if l.cfg.controlFraming {
+		byBudget -= icos.FramedBits(0, k) // header+CRC ride in the budget
+		if byBudget < 0 {
+			byBudget = 0
+		}
+	}
+	nSym := mode.SymbolsForPSDU(dataLen + bits.FCSLen)
+	nCtrl := len(l.ctrlSCs)
+	if nCtrl == 0 {
+		nCtrl = l.cfg.minCtrl
+	}
+	byCapacity := icos.MaxMessageBits(nSym, nCtrl, k)
+	if byCapacity < byBudget {
+		return byCapacity, nil
+	}
+	return byBudget, nil
+}
+
+// defaultCtrlSCs is the bootstrap control set used before any feedback
+// exists: the contiguous mid-band subcarriers of the paper's Fig. 10(a).
+var defaultCtrlSCs = []int{9, 10, 11, 12, 13, 14, 15, 16}
+
+// Send transmits one data payload with the given control bits embedded and
+// returns the receive-side outcome. len(control) must be a multiple of the
+// configured bits-per-interval and fit within MaxControlBits; pass nil to
+// send a data-only packet.
+func (l *Link) Send(data, control []byte) (*Exchange, error) {
+	mode, err := l.mode()
+	if err != nil {
+		return nil, err
+	}
+	if l.cfg.disableCoS && len(control) > 0 {
+		return nil, fmt.Errorf("cos: control bits on a CoS-disabled link")
+	}
+
+	// Sender side.
+	psdu := bits.AppendFCS(data)
+	pkt, err := phy.BuildPacket(phy.TxConfig{Mode: mode}, psdu)
+	if err != nil {
+		return nil, err
+	}
+	ctrlSCs := l.ctrlSCs
+	if len(ctrlSCs) == 0 {
+		ctrlSCs = defaultCtrlSCs
+	}
+	ex := &Exchange{Mode: mode, Time: l.now, ControlSubcarriers: ctrlSCs}
+
+	var truthMask [][]bool
+	wire := control
+	if len(control) > 0 {
+		maxBits, err := l.MaxControlBits(len(data))
+		if err != nil {
+			return nil, err
+		}
+		if len(control) > maxBits {
+			return nil, fmt.Errorf("cos: %d control bits exceed the current budget of %d", len(control), maxBits)
+		}
+		if l.cfg.controlFraming {
+			framed, err := icos.FrameControl(control)
+			if err != nil {
+				return nil, err
+			}
+			wire, err = icos.PadToInterval(framed, l.cfg.bitsPerInterval)
+			if err != nil {
+				return nil, err
+			}
+		} else if len(control)%l.cfg.bitsPerInterval != 0 {
+			return nil, fmt.Errorf("cos: %d control bits is not a multiple of k=%d (or use WithControlFraming)",
+				len(control), l.cfg.bitsPerInterval)
+		}
+		truthMask, err = icos.Embed(pkt, ctrlSCs, wire, l.cfg.bitsPerInterval)
+		if err != nil {
+			return nil, err
+		}
+		ex.ControlSent = append([]byte(nil), control...)
+		ex.SilencesInserted = len(icos.MaskPositions(truthMask, ctrlSCs))
+	}
+
+	// Channel.
+	samples, err := pkt.Samples()
+	if err != nil {
+		return nil, err
+	}
+	h := l.ch.FrequencyResponse(l.now)
+	noiseVar, err := phy.NoiseVarForActualSNR(h, l.cfg.snrDB)
+	if err != nil {
+		return nil, err
+	}
+	rx := l.ch.Apply(samples, l.now, noiseVar, l.rng)
+	if l.cfg.interferer != nil {
+		if _, err := l.cfg.interferer.Apply(rx, l.rng); err != nil {
+			return nil, err
+		}
+	}
+	ex.ActualSNRdB, err = phy.ActualSNRdB(h, noiseVar)
+	if err != nil {
+		return nil, err
+	}
+
+	// Receiver side.
+	fe, err := phy.RunFrontEnd(rx)
+	if err != nil {
+		return nil, err
+	}
+	ex.MeasuredSNRdB, err = fe.MeasuredSNRdB()
+	if err != nil {
+		return nil, err
+	}
+
+	det := icos.Detector{Scheme: mode.Modulation, ThresholdFactor: l.cfg.thresholdFactor}
+	var detectedMask [][]bool
+	if len(control) > 0 {
+		ctrlBits, mask, exErr := icos.ExtractControl(fe, ctrlSCs, det, l.cfg.bitsPerInterval)
+		detectedMask = mask
+		if exErr == nil {
+			ex.ControlReceived = ctrlBits
+			if l.cfg.controlFraming {
+				if payload, ok := icos.ParseControl(ctrlBits); ok {
+					ex.ControlVerified = true
+					ex.ControlPayload = payload
+					ex.ControlOK = bits.Equal(payload, control)
+				}
+			} else {
+				ex.ControlOK = len(ctrlBits) >= len(control) && bits.Equal(ctrlBits[:len(control)], control)
+			}
+		} else if mask == nil {
+			detectedMask, err = det.DetectMask(fe, ctrlSCs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ex.Detection, err = icos.CompareMasks(truthMask, detectedMask, ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dec, err := fe.Decode(phy.DecodeConfig{Mode: mode, PSDULen: len(psdu), Erased: detectedMask})
+	if err != nil {
+		return nil, err
+	}
+	if payload, ok := bits.CheckFCS(dec.PSDU); ok {
+		ex.DataOK = true
+		ex.Data = payload
+		if err := l.updateFeedback(pkt.Config, fe, dec.PSDU, detectedMask, mode, ex.MeasuredSNRdB); err != nil {
+			return nil, err
+		}
+	} else {
+		// Loss: the sender gets no feedback; fall back to conservative
+		// settings for the next packet (Sec. III-F).
+		l.haveFeedback = false
+		l.noDetectable = false
+		l.ctrlSCs = nil
+	}
+
+	l.now += l.cfg.packetInterval
+	return ex, nil
+}
+
+// updateFeedback recomputes the receiver's EVM picture from the decoded
+// packet (re-mapping decoded bits for ideal constellation points, as the
+// paper does after a CRC pass) and refreshes the control subcarrier
+// selection and SNR feedback.
+func (l *Link) updateFeedback(txCfg phy.TxConfig, fe *phy.FrontEnd, psdu []byte, erased [][]bool, mode phy.Mode, measured float64) error {
+	grid, err := phy.ReconstructGrid(txCfg, psdu)
+	if err != nil {
+		return err
+	}
+	evm := make([]float64, ofdm.NumData)
+	counts := make([]int, ofdm.NumData)
+	sums := make([]float64, ofdm.NumData)
+	for s := 0; s < fe.NumSymbols(); s++ {
+		eq, err := fe.Equalized(s)
+		if err != nil {
+			return err
+		}
+		row, err := grid.Symbol(s)
+		if err != nil {
+			return err
+		}
+		for d := 0; d < ofdm.NumData; d++ {
+			if erased != nil && erased[s][d] {
+				continue // silences are excluded from EVM (Sec. III-D)
+			}
+			diff := eq[d] - row[d]
+			sums[d] += real(diff)*real(diff) + imag(diff)*imag(diff)
+			counts[d]++
+		}
+	}
+	for d := range evm {
+		if counts[d] > 0 {
+			evm[d] = math.Sqrt(sums[d] / float64(counts[d]))
+		}
+	}
+	snrs, err := fe.SubcarrierSNRs()
+	if err != nil {
+		return err
+	}
+	// Smooth the channel picture across packets (EWMA): a single packet's
+	// estimate is noisy enough at weak subcarriers to let a borderline
+	// subcarrier slip past the detectability floor.
+	if l.lastEVM != nil && l.lastSCSNRs != nil {
+		const alpha = 0.5
+		for d := range evm {
+			evm[d] = alpha*evm[d] + (1-alpha)*l.lastEVM[d]
+			snrs[d] = alpha*snrs[d] + (1-alpha)*l.lastSCSNRs[d]
+		}
+	}
+	if l.haveFeedback {
+		// Smooth the SNR report too: rate selection on a single packet's
+		// estimate flaps between modes at band edges.
+		const alpha = 0.4
+		measured = alpha*measured + (1-alpha)*l.measuredSNR
+	}
+	nextMode := phy.SelectMode(measured)
+	if l.cfg.fixedRateMbps != 0 {
+		nextMode = mode
+	}
+	sel, err := icos.SelectDetectable(evm, snrs, nextMode.Modulation, l.cfg.minCtrl, l.cfg.maxCtrl, 0)
+	if err != nil {
+		// No detectable subcarriers in this packet's estimate. Keep the
+		// previous selection if one exists (estimates fluctuate packet to
+		// packet); pause CoS only when there is nothing to fall back on.
+		if len(l.ctrlSCs) > 0 {
+			sel = l.ctrlSCs
+			l.noDetectable = false
+		} else {
+			sel = nil
+			l.noDetectable = true
+		}
+	} else {
+		l.noDetectable = false
+	}
+
+	if l.cfg.explicitFeedback {
+		// Ship the feedback over the reverse channel (reciprocal) instead
+		// of assuming ideal delivery: an ACK-sized frame plus the V symbol.
+		fb := icos.Feedback{MeasuredSNRdB: clampFeedbackSNR(measured), Selected: sel}
+		frame, err := icos.BuildFeedbackFrame(fb)
+		if err != nil {
+			return err
+		}
+		fbNoise, err := phy.NoiseVarForActualSNR(l.ch.FrequencyResponse(l.now), l.cfg.snrDB)
+		if err != nil {
+			return err
+		}
+		rx := l.ch.Apply(frame, l.now, fbNoise, l.rng)
+		parsed, err := icos.ParseFeedbackFrame(rx, icos.Detector{ThresholdFactor: l.cfg.thresholdFactor})
+		if err != nil {
+			// Feedback lost: the sender behaves as after a data loss
+			// (Sec. III-F) — conservative settings next packet.
+			l.haveFeedback = false
+			l.noDetectable = false
+			l.ctrlSCs = nil
+			l.lastEVM = evm
+			l.lastSCSNRs = snrs
+			return nil
+		}
+		measured = parsed.MeasuredSNRdB
+		sel = parsed.Selected
+		l.noDetectable = len(sel) == 0
+	}
+
+	l.haveFeedback = true
+	l.measuredSNR = measured
+	l.lastEVM = evm
+	l.lastSCSNRs = snrs
+	l.ctrlSCs = sel
+	return nil
+}
+
+// clampFeedbackSNR bounds an SNR report to the feedback frame's encodable
+// range.
+func clampFeedbackSNR(db float64) float64 {
+	const lo, hi = -10, 53.75
+	if db < lo {
+		return lo
+	}
+	if db > hi {
+		return hi
+	}
+	return db
+}
+
+// LastEVM returns the receiver's most recent per-subcarrier EVM picture
+// (48 fractions), or nil before the first successful packet.
+func (l *Link) LastEVM() []float64 {
+	if l.lastEVM == nil {
+		return nil
+	}
+	out := make([]float64, len(l.lastEVM))
+	copy(out, l.lastEVM)
+	return out
+}
+
+// ControlSubcarriers returns the currently selected control subcarriers.
+func (l *Link) ControlSubcarriers() []int {
+	src := l.ctrlSCs
+	if len(src) == 0 {
+		src = defaultCtrlSCs
+	}
+	out := make([]int, len(src))
+	copy(out, src)
+	return out
+}

@@ -1,0 +1,220 @@
+package cos
+
+import (
+	"fmt"
+
+	"cos/internal/channel"
+)
+
+// Position identifies a canonical indoor receiver placement; the three
+// placements of the paper's measurement campaign differ in how much
+// frequency-selective fading they exhibit.
+type Position = channel.Position
+
+// Canonical positions (re-exported from the channel simulator).
+const (
+	PositionA    = channel.PositionA
+	PositionB    = channel.PositionB
+	PositionC    = channel.PositionC
+	PositionFlat = channel.PositionFlat
+)
+
+// config collects Link settings; built by options.
+type config struct {
+	position         Position
+	mobile           bool
+	variant          int64
+	seed             int64
+	snrDB            float64
+	fixedRateMbps    int
+	bitsPerInterval  int
+	minCtrl          int
+	maxCtrl          int
+	thresholdFactor  float64
+	silenceBudget    int
+	adaptiveBudget   bool
+	interferer       *channel.PulseInterferer
+	packetInterval   float64
+	disableCoS       bool
+	explicitFeedback bool
+	controlFraming   bool
+}
+
+func defaultConfig() config {
+	return config{
+		position:        PositionB,
+		seed:            1,
+		snrDB:           18,
+		bitsPerInterval: 4,
+		minCtrl:         4,
+		maxCtrl:         8,
+		adaptiveBudget:  true,
+		packetInterval:  2e-3,
+	}
+}
+
+// Option configures a Link.
+type Option func(*config) error
+
+// WithPosition selects the channel geometry (default PositionB).
+func WithPosition(p Position) Option {
+	return func(c *config) error {
+		if _, err := p.Config(false); err != nil {
+			return err
+		}
+		c.position = p
+		return nil
+	}
+}
+
+// WithMobile enables walking-speed Doppler (the paper's mobile scenario).
+func WithMobile() Option {
+	return func(c *config) error {
+		c.mobile = true
+		return nil
+	}
+}
+
+// WithChannelVariant selects an independent channel realization of the same
+// position geometry; useful for averaging experiments.
+func WithChannelVariant(v int64) Option {
+	return func(c *config) error {
+		c.variant = v
+		return nil
+	}
+}
+
+// WithSeed sets the noise/payload RNG seed (default 1). Two links built
+// with identical options produce identical sample-level behaviour.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithSNR sets the true (channel-sounder) SNR in dB at which packets are
+// received (default 18).
+func WithSNR(db float64) Option {
+	return func(c *config) error {
+		if db < -10 || db > 60 {
+			return fmt.Errorf("cos: SNR %v dB out of the supported [-10,60] range", db)
+		}
+		c.snrDB = db
+		return nil
+	}
+}
+
+// WithFixedRate pins the data rate in Mb/s instead of SNR-based adaptation.
+func WithFixedRate(mbps int) Option {
+	return func(c *config) error {
+		c.fixedRateMbps = mbps
+		return nil
+	}
+}
+
+// WithBitsPerInterval sets k, the control bits carried per inter-silence
+// interval (default 4, as in the paper).
+func WithBitsPerInterval(k int) Option {
+	return func(c *config) error {
+		if k < 1 || k > 16 {
+			return fmt.Errorf("cos: bits per interval %d out of range [1,16]", k)
+		}
+		c.bitsPerInterval = k
+		return nil
+	}
+}
+
+// WithControlSubcarrierRange bounds how many control subcarriers the
+// selection algorithm uses (defaults 4..8).
+func WithControlSubcarrierRange(min, max int) Option {
+	return func(c *config) error {
+		if min < 1 || (max != 0 && max < min) {
+			return fmt.Errorf("cos: bad control subcarrier range [%d,%d]", min, max)
+		}
+		c.minCtrl, c.maxCtrl = min, max
+		return nil
+	}
+}
+
+// WithDetectorFactor scales the energy-detection threshold (default 1.0).
+func WithDetectorFactor(f float64) Option {
+	return func(c *config) error {
+		if f <= 0 {
+			return fmt.Errorf("cos: detector factor %v must be positive", f)
+		}
+		c.thresholdFactor = f
+		return nil
+	}
+}
+
+// WithSilenceBudget fixes the per-packet silence budget instead of adaptive
+// control-rate selection.
+func WithSilenceBudget(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("cos: negative silence budget %d", n)
+		}
+		c.silenceBudget = n
+		c.adaptiveBudget = false
+		return nil
+	}
+}
+
+// WithInterference adds a pulse interferer to the link (Fig. 10(d)).
+func WithInterference(power float64, burstLen int, startProb float64) Option {
+	return func(c *config) error {
+		p := &channel.PulseInterferer{Power: power, BurstLen: burstLen, StartProb: startProb}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		c.interferer = p
+		return nil
+	}
+}
+
+// WithPacketInterval sets the simulated time between packet transmissions
+// in seconds (default 2 ms); it drives channel evolution in mobile links.
+func WithPacketInterval(seconds float64) Option {
+	return func(c *config) error {
+		if seconds <= 0 {
+			return fmt.Errorf("cos: packet interval %v must be positive", seconds)
+		}
+		c.packetInterval = seconds
+		return nil
+	}
+}
+
+// WithExplicitFeedback transports the receiver's feedback over the reverse
+// channel as the paper describes (Sec. III-A/D): an ACK-sized frame at the
+// base rate carrying the measured SNR, plus one OFDM symbol whose silences
+// encode the selected-subcarrier vector V. Without this option feedback is
+// delivered ideally (the default, matching the paper's assumption that ACKs
+// are reliable). Feedback frames share the forward channel by reciprocity.
+func WithExplicitFeedback() Option {
+	return func(c *config) error {
+		c.explicitFeedback = true
+		return nil
+	}
+}
+
+// WithControlFraming wraps every control message in an 8-bit length header
+// and an 8-bit CRC before interval encoding. The receiver then validates
+// messages without knowing their content in advance — the integrity layer a
+// deployable CoS needs, since one detection error shifts every later
+// interval. Costs 16 bits of control budget per message.
+func WithControlFraming() Option {
+	return func(c *config) error {
+		c.controlFraming = true
+		return nil
+	}
+}
+
+// WithoutCoS disables silence insertion entirely: the link behaves as plain
+// 802.11a. Used as the experimental control.
+func WithoutCoS() Option {
+	return func(c *config) error {
+		c.disableCoS = true
+		return nil
+	}
+}

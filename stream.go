@@ -1,0 +1,107 @@
+package cos
+
+import (
+	"fmt"
+
+	icos "cos/internal/cos"
+)
+
+// StreamResult reports a multi-packet control stream transfer.
+type StreamResult struct {
+	// Delivered reports whether the receiver reassembled the full payload.
+	Delivered bool
+	// Payload is the receiver's reassembled copy when Delivered.
+	Payload []byte
+	// PacketsUsed counts data packets consumed (including budget-starved
+	// packets that carried no fragment).
+	PacketsUsed int
+	// FragmentsSent and FragmentsDelivered count the stream's fragments.
+	FragmentsSent, FragmentsDelivered int
+}
+
+// maxStreamStalls bounds how many consecutive budget-starved packets a
+// stream tolerates before giving up.
+const maxStreamStalls = 8
+
+// SendStream delivers a control payload longer than one packet's budget by
+// fragmenting it across consecutive data packets (each packet carries data
+// plus one fragment). It requires WithControlFraming — fragments must be
+// CRC-validated before reassembly. data supplies the payload reused for
+// every packet.
+//
+// A corrupted or lost fragment aborts the stream (Delivered false): CoS
+// control messages are small state updates, and the caller retries whole
+// messages.
+func (l *Link) SendStream(payload, data []byte) (*StreamResult, error) {
+	if !l.cfg.controlFraming {
+		return nil, fmt.Errorf("cos: SendStream requires WithControlFraming")
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("cos: empty stream payload")
+	}
+
+	// Pick a fragment size from the current budget, floored so odd budgets
+	// still make progress and capped to keep per-packet silence counts low.
+	budget, err := l.MaxControlBits(len(data))
+	if err != nil {
+		return nil, err
+	}
+	fragBits := budget
+	if fragBits > 64 {
+		fragBits = 64
+	}
+	if fragBits < 16 {
+		fragBits = 16
+	}
+
+	var fr icos.Fragmenter
+	frags, err := fr.Split(payload, fragBits)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &StreamResult{}
+	var re icos.Reassembler
+	stalls := 0
+	for i := 0; i < len(frags); {
+		budget, err := l.MaxControlBits(len(data))
+		if err != nil {
+			return nil, err
+		}
+		if budget < len(frags[i]) {
+			// Budget dip: push a data-only packet and let the feedback
+			// loop recover.
+			if _, err := l.Send(data, nil); err != nil {
+				return nil, err
+			}
+			res.PacketsUsed++
+			stalls++
+			if stalls >= maxStreamStalls {
+				return res, nil
+			}
+			continue
+		}
+		stalls = 0
+		ex, err := l.Send(data, frags[i])
+		if err != nil {
+			return nil, err
+		}
+		res.PacketsUsed++
+		res.FragmentsSent++
+		if !ex.ControlVerified {
+			return res, nil // fragment lost: abort the stream
+		}
+		res.FragmentsDelivered++
+		msg, done, err := re.Push(ex.ControlPayload)
+		if err != nil {
+			return res, nil // header corrupted into a non-continuation
+		}
+		if done {
+			res.Delivered = true
+			res.Payload = msg
+			return res, nil
+		}
+		i++
+	}
+	return res, nil
+}
