@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -16,6 +16,15 @@ test:
 	$(GO) test ./...
 
 test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# The pre-merge gate: compile, vet, formatting, quick tests.
+ci: build vet
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test -short ./...
 
 bench:

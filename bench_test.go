@@ -17,6 +17,7 @@ import (
 	"cos/internal/dsp"
 	"cos/internal/experiments"
 	"cos/internal/modulation"
+	"cos/internal/obs"
 	"cos/internal/phy"
 )
 
@@ -174,8 +175,9 @@ func BenchmarkRxChain1KB(b *testing.B) {
 	}
 }
 
-func BenchmarkLinkExchange(b *testing.B) {
-	link, err := cos.NewLink(cos.WithSNR(20), cos.WithSeed(6))
+func runLinkExchange(b *testing.B, opts ...cos.Option) {
+	b.Helper()
+	link, err := cos.NewLink(append([]cos.Option{cos.WithSNR(20), cos.WithSeed(6)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -201,6 +203,36 @@ func BenchmarkLinkExchange(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkLinkExchange(b *testing.B) { runLinkExchange(b) }
+
+// BenchmarkLinkExchangeInstrumented adds the heaviest observability setup a
+// session can have — an isolated registry plus an attached observer — on
+// top of the always-on pipeline metrics. Comparing against
+// BenchmarkLinkExchange bounds the marginal cost of the hook itself;
+// BENCH_obs.json records both against the pre-instrumentation baseline.
+func BenchmarkLinkExchangeInstrumented(b *testing.B) {
+	var observed int
+	runLinkExchange(b,
+		cos.WithMetricsRegistry(cos.NewMetricsRegistry()),
+		cos.WithObserver(func(ex *cos.Exchange) { observed++ }),
+	)
+	if observed == 0 {
+		b.Fatal("observer never fired")
+	}
+}
+
+// BenchmarkObsCounterHot measures the per-update cost of the metric
+// primitive the pipeline leans on hardest (Counter.Inc under contention).
+func BenchmarkObsCounterHot(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_hot_total", "benchmark counter")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
 }
 
 func BenchmarkAblationQuantization(b *testing.B) { runFigure(b, "ablation-quantization") }

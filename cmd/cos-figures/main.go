@@ -7,9 +7,12 @@
 //	cos-figures -list
 //	cos-figures -fig fig9 [-scale 0.2]
 //	cos-figures -fig all -scale 0.1 -out results/
+//	cos-figures -fig all -metrics-addr :8080 -stats 10s
 //
 // Scale 1 (default) is the publication-quality run; smaller scales shrink
-// packet counts proportionally for quick looks.
+// packet counts proportionally for quick looks. Long runs are worth
+// watching live: -metrics-addr serves /metrics and /debug/pprof/, and
+// -stats prints a periodic pipeline stats line to stderr.
 package main
 
 import (
@@ -19,17 +22,27 @@ import (
 	"path/filepath"
 
 	"cos/internal/experiments"
+	"cos/internal/obs/obshttp"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "experiment ID (see -list) or 'all'")
-		scale = flag.Float64("scale", 1, "sample-size scale; 1 = publication quality")
-		out   = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
-		plot  = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		fig      = flag.String("fig", "all", "experiment ID (see -list) or 'all'")
+		scale    = flag.Float64("scale", 1, "sample-size scale; 1 = publication quality")
+		out      = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
+		plot     = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
+		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
+
+	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopObs()
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -6,6 +6,7 @@
 //
 //	cos-sim -snr 18 -position B -packets 200 -size 1024 -control 32
 //	cos-sim -snr 12 -mobile -interference
+//	cos-sim -packets 5000 -metrics-addr :8080 -stats 2s
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"cos"
+	"cos/internal/obs/obshttp"
 	"cos/internal/trace"
 )
 
@@ -47,8 +49,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		verbose  = flag.Bool("v", false, "print each packet")
 		traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file")
+		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
+		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
+
+	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopObs()
 
 	pos, err := positionByName(*posName)
 	if err != nil {
@@ -65,12 +76,9 @@ func main() {
 	if *intf {
 		opts = append(opts, cos.WithInterference(40, 160, 0.004))
 	}
-	link, err := cos.NewLink(opts...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
-		os.Exit(2)
-	}
 
+	// Trace capture rides the link's observer hook: one event stream
+	// feeds the trace file, the metrics registry, and the printed stats.
 	var tw *trace.Writer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -81,6 +89,13 @@ func main() {
 		defer f.Close()
 		tw = trace.NewWriter(f)
 		defer tw.Flush()
+		opts = append(opts, cos.WithObserver(tw.Observer()))
+	}
+
+	link, err := cos.NewLink(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+		os.Exit(2)
 	}
 
 	rng := rand.New(rand.NewSource(*seed + 1))
@@ -130,15 +145,16 @@ func main() {
 		fNeg += ex.Detection.FalseNegatives
 		scanned += ex.Detection.Silences + ex.Detection.Normals
 		measuredSum += ex.MeasuredSNRdB
-		if tw != nil {
-			if err := tw.Write(trace.FromExchange(i, ex, len(data))); err != nil {
-				fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
-				os.Exit(1)
-			}
-		}
 		if *verbose {
 			fmt.Printf("pkt %3d: mode=%v dataOK=%v ctrlOK=%v silences=%d measured=%.1fdB actual=%.1fdB\n",
 				i, ex.Mode, ex.DataOK, ex.ControlOK, ex.SilencesInserted, ex.MeasuredSNRdB, ex.ActualSNRdB)
+		}
+	}
+
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+			os.Exit(1)
 		}
 	}
 

@@ -12,15 +12,26 @@ import (
 	"os"
 	"sort"
 
+	"cos/internal/obs/obshttp"
 	"cos/internal/trace"
 )
 
 func main() {
+	var (
+		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
+		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
+	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cos-trace <trace.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: cos-trace [flags] <trace.jsonl>")
 		os.Exit(2)
 	}
+	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopObs()
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)

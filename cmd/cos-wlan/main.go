@@ -4,6 +4,7 @@
 // airtime and delivery comparison.
 //
 //	cos-wlan -stations 3 -rounds 100 -snr 18
+//	cos-wlan -rounds 2000 -metrics-addr :8080 -stats 5s
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"cos/internal/obs/obshttp"
 	"cos/internal/wlan"
 )
 
@@ -21,8 +23,17 @@ func main() {
 		snr      = flag.Float64("snr", 18, "per-station true SNR in dB")
 		payload  = flag.Int("payload", 1024, "data payload bytes")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
+		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
+
+	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-wlan: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopObs()
 
 	run := func(coord wlan.Coordination) *wlan.Report {
 		n, err := wlan.New(wlan.Config{

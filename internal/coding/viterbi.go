@@ -3,6 +3,23 @@ package coding
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"cos/internal/obs"
+)
+
+// Decoder metrics: the EVD erasure load (zero metrics cover both silence
+// erasures and punctured positions) and the end-to-end decode latency,
+// traceback included.
+var (
+	mDecodes = obs.Default().Counter("coding_viterbi_decodes_total",
+		"Viterbi decode calls.")
+	mDecodedBits = obs.Default().Counter("coding_viterbi_bits_total",
+		"Information bits produced by the Viterbi decoder.")
+	mErasedMetrics = obs.Default().Counter("coding_viterbi_erased_metrics_total",
+		"Zero (erased) input metrics seen by the decoder: silence erasures plus punctured positions.")
+	mDecodeSeconds = obs.Default().Histogram("coding_viterbi_decode_seconds",
+		"Viterbi decode latency including traceback.", nil)
 )
 
 // Viterbi decodes the 802.11a rate-1/2 convolutional code from soft bit
@@ -34,7 +51,37 @@ func (v *Viterbi) Decode(metrics []float64) ([]byte, error) {
 	if steps == 0 {
 		return nil, nil
 	}
+	// Metrics live in this wrapper, not in decode: values held across the
+	// trellis loop (the timer, the erasure count) cost registers the hot
+	// loop needs, a measured ~5% on a 1 KB decode.
+	start := time.Now()
+	erased := 0
+	for _, m := range metrics {
+		// Branchless count: erasure positions look random to the branch
+		// predictor, and a mispredicting loop over ~16k metrics is
+		// measurable next to the decode itself.
+		inc := 0
+		if m == 0 {
+			inc = 1
+		}
+		erased += inc
+	}
+	out, err := v.decode(metrics)
+	if err != nil {
+		return nil, err
+	}
+	mDecodes.Inc()
+	mDecodedBits.Add(uint64(steps))
+	mErasedMetrics.Add(uint64(erased))
+	mDecodeSeconds.ObserveSince(start)
+	return out, nil
+}
 
+func (v *Viterbi) decode(metrics []float64) ([]byte, error) {
+	// steps is recomputed from len(metrics) rather than passed in so the
+	// compiler can prove 2*t+1 < len(metrics) and drop the bounds checks
+	// in the trellis loop.
+	steps := len(metrics) / 2
 	negInf := math.Inf(-1)
 	cur := make([]float64, NumStates)
 	next := make([]float64, NumStates)

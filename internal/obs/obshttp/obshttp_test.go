@@ -1,0 +1,137 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cos/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("serve_test_total", "pkts").Add(7)
+	h := r.Histogram("serve_lat_seconds", "", nil)
+	h.Observe(0.002)
+
+	srv, err := Serve(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE serve_test_total counter",
+		"serve_test_total 7",
+		"serve_lat_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	raw, ok := vars["cos"]
+	if !ok {
+		t.Fatalf("/debug/vars missing the cos var: %s", body)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("cos var is not a snapshot: %v", err)
+	}
+	if snap["serve_test_total"] != 7 {
+		t.Errorf("cos var snapshot: %v", snap)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing standard memstats var")
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", body)
+	}
+	if code, _ := get(t, base+"/debug/pprof/heap"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/heap status %d", code)
+	}
+}
+
+// TestServeTwice ensures a second listener (e.g. in another test) does not
+// panic on duplicate expvar publication and serves the latest registry.
+func TestServeTwice(t *testing.T) {
+	r1 := obs.NewRegistry()
+	r1.Counter("twice_a_total", "").Inc()
+	s1, err := Serve(r1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	r2 := obs.NewRegistry()
+	r2.Counter("twice_b_total", "").Inc()
+	s2, err := Serve(r2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, body := get(t, fmt.Sprintf("http://%s/debug/vars", s2.Addr()))
+	if !strings.Contains(body, "twice_b_total") {
+		t.Errorf("expvar not tracking the served registry:\n%s", body)
+	}
+}
+
+func TestExpose(t *testing.T) {
+	var log strings.Builder
+	stop, err := Expose("", 0, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // no-op path
+
+	stop, err = Expose("127.0.0.1:0", 0, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	line := log.String()
+	if !strings.Contains(line, "http://127.0.0.1:") {
+		t.Errorf("Expose did not log the bound address: %q", line)
+	}
+	addr := strings.TrimSpace(line[strings.Index(line, "http://"):])
+	if code, _ := get(t, addr+"/metrics"); code != http.StatusOK {
+		t.Errorf("exposed /metrics status %d", code)
+	}
+}

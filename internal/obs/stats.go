@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StatsLine renders a compact one-line view of the registry: every
+// non-zero counter and gauge as name=value (families as
+// name{label=value}=count), and every histogram with observations as
+// name_p50=value. Sorted for stable output; empty registries render "".
+func (r *Registry) StatsLine() string {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k, v := range snap {
+		if v == 0 {
+			continue
+		}
+		// Histograms flatten to five keys; the count and p50 carry the
+		// signal on one line, drop sum/p95/p99.
+		if strings.HasSuffix(k, "_sum") || strings.HasSuffix(k, "_p95") || strings.HasSuffix(k, "_p99") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		v := snap[k]
+		if v == float64(int64(v)) {
+			fmt.Fprintf(&b, "%s=%d", k, int64(v))
+		} else {
+			fmt.Fprintf(&b, "%s=%.3g", k, v)
+		}
+	}
+	return b.String()
+}
+
+// StartStatsLogger prints the registry's stats line to w every interval
+// until the returned stop function is called; stop prints one final line
+// and waits for the goroutine to exit.
+func StartStatsLogger(w io.Writer, r *Registry, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintf(w, "obs: %s\n", r.StatsLine())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			fmt.Fprintf(w, "obs: %s\n", r.StatsLine())
+		})
+	}
+}

@@ -2,11 +2,29 @@ package phy
 
 import (
 	"fmt"
+	"time"
 
 	"cos/internal/bits"
 	"cos/internal/coding"
 	"cos/internal/dsp"
+	"cos/internal/obs"
 	"cos/internal/ofdm"
+)
+
+// Receive-chain metrics: stage timings for the two RX stages (front end:
+// FFT, channel and noise estimation; decode: demap through descramble)
+// and the erasure load entering the decoder.
+var (
+	mRxFrontEnds = obs.Default().Counter("phy_rx_frontends_total",
+		"Packets processed by the receiver front end.")
+	mRxFrontEndSeconds = obs.Default().Histogram("phy_rx_frontend_seconds",
+		"RunFrontEnd latency: FFTs, channel estimate, noise estimate.", nil)
+	mRxDecodes = obs.Default().Counter("phy_rx_decodes_total",
+		"Payload decode attempts.")
+	mRxDecodeSeconds = obs.Default().Histogram("phy_rx_decode_seconds",
+		"Decode latency: demap, deinterleave, depuncture, Viterbi, descramble.", nil)
+	mRxErasedPositions = obs.Default().Counter("phy_rx_erased_positions_total",
+		"Symbol/subcarrier positions erased by the silence mask before decoding.")
 )
 
 // FrontEnd is the receiver's pre-decoding state: raw FFT bins of every
@@ -44,6 +62,20 @@ func RunFrontEndAt(samples []complex128, firstPilotIndex int) (*FrontEnd, error)
 	if len(samples) < ofdm.PreambleLen+ofdm.SymbolLen {
 		return nil, fmt.Errorf("phy: packet too short: %d samples", len(samples))
 	}
+	// Instrumentation stays in this wrapper: a timer held live across the
+	// estimation loops costs the inner function registers (see
+	// coding.Viterbi.Decode for the measurement).
+	start := time.Now()
+	fe, err := runFrontEndAt(samples, firstPilotIndex)
+	if err != nil {
+		return nil, err
+	}
+	mRxFrontEnds.Inc()
+	mRxFrontEndSeconds.ObserveSince(start)
+	return fe, nil
+}
+
+func runFrontEndAt(samples []complex128, firstPilotIndex int) (*FrontEnd, error) {
 	payload := samples[ofdm.PreambleLen:]
 	if len(payload)%ofdm.SymbolLen != 0 {
 		return nil, fmt.Errorf("phy: payload %d samples is not a whole number of OFDM symbols", len(payload))
@@ -256,6 +288,29 @@ func (fe *FrontEnd) Decode(cfg DecodeConfig) (*DecodeResult, error) {
 	if err := cfg.Validate(fe); err != nil {
 		return nil, err
 	}
+	// Instrumentation stays in this wrapper (register pressure, see
+	// coding.Viterbi.Decode); the erasure count comes from the mask, not
+	// the demap loop, for the same reason.
+	start := time.Now()
+	res, err := fe.decode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	erased := 0
+	for _, row := range cfg.Erased {
+		for _, e := range row {
+			if e {
+				erased++
+			}
+		}
+	}
+	mRxDecodes.Inc()
+	mRxErasedPositions.Add(uint64(erased))
+	mRxDecodeSeconds.ObserveSince(start)
+	return res, nil
+}
+
+func (fe *FrontEnd) decode(cfg DecodeConfig) (*DecodeResult, error) {
 	m := cfg.Mode
 	il, scheme, err := mapperFor(m)
 	if err != nil {

@@ -2,11 +2,24 @@ package phy
 
 import (
 	"fmt"
+	"time"
 
 	"cos/internal/bits"
 	"cos/internal/coding"
 	"cos/internal/modulation"
+	"cos/internal/obs"
 	"cos/internal/ofdm"
+)
+
+// Transmit-chain metrics: stage timings for the two TX stages (bit
+// processing up to the frequency grid, and OFDM modulation to samples).
+var (
+	mTxPackets = obs.Default().Counter("phy_tx_packets_total",
+		"Packets built by the transmit chain.")
+	mTxBuildSeconds = obs.Default().Histogram("phy_tx_build_seconds",
+		"BuildPacket latency: scramble, encode, puncture, interleave, map.", nil)
+	mTxModulateSeconds = obs.Default().Histogram("phy_tx_modulate_seconds",
+		"Samples() latency: OFDM modulation of the grid plus preamble.", nil)
 )
 
 // serviceBits is the length of the 802.11a SERVICE field (16 zero bits; the
@@ -70,6 +83,19 @@ func BuildPacket(cfg TxConfig, psdu []byte) (*TxPacket, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Instrumentation stays in this wrapper (register pressure, see
+	// coding.Viterbi.Decode).
+	start := time.Now()
+	pkt, err := buildPacket(cfg, psdu)
+	if err != nil {
+		return nil, err
+	}
+	mTxPackets.Inc()
+	mTxBuildSeconds.ObserveSince(start)
+	return pkt, nil
+}
+
+func buildPacket(cfg TxConfig, psdu []byte) (*TxPacket, error) {
 	m := cfg.Mode
 
 	// Assemble data bits: SERVICE (16 zeros) + PSDU + 6 tail zeros, padded
@@ -137,6 +163,7 @@ func BuildPacket(cfg TxConfig, psdu []byte) (*TxPacket, error) {
 // PLCP preamble followed by the cyclic-prefixed OFDM payload symbols. Call
 // after any grid mutation (silence insertion).
 func (p *TxPacket) Samples() ([]complex128, error) {
+	start := time.Now()
 	payload, err := p.Grid.Modulate(1) // data symbols start at pilot index 1
 	if err != nil {
 		return nil, err
@@ -144,6 +171,7 @@ func (p *TxPacket) Samples() ([]complex128, error) {
 	out := make([]complex128, 0, ofdm.PreambleLen+len(payload))
 	out = append(out, ofdm.Preamble()...)
 	out = append(out, payload...)
+	mTxModulateSeconds.ObserveSince(start)
 	return out, nil
 }
 

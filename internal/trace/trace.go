@@ -1,8 +1,18 @@
 // Package trace records link sessions as JSON-lines event streams and
 // computes offline statistics over them. A trace decouples *running* a
 // (slow, simulated) radio session from *analyzing* it: capture once with
-// cos-sim -trace, then slice delivery rates, detection accuracy, or control
-// throughput without re-simulating.
+// cos-sim -trace, then slice delivery rates, detection accuracy, or
+// control throughput without re-simulating.
+//
+// Capture rides the link's observer hook: attach Writer.Observer with
+// cos.WithObserver and every exchange the link completes lands in the
+// trace — the same event stream the metrics layer consumes (DESIGN.md
+// §trace, README §Observability).
+//
+// Files begin with a schema header line ({"cos_trace_schema":1}) so
+// readers can tell versions apart; Read tolerates files without one (the
+// pre-versioning format) and ignores unknown fields on events, so traces
+// written by newer, more instrumented builds still load.
 package trace
 
 import (
@@ -13,6 +23,16 @@ import (
 
 	"cos"
 )
+
+// SchemaVersion is the trace-file schema this package writes. Version 1
+// is the first self-describing format; files with no header are treated
+// as version 0 (same event fields, no header line).
+const SchemaVersion = 1
+
+// header is the first line of a versioned trace file.
+type header struct {
+	Schema int `json:"cos_trace_schema"`
+}
 
 // Event is one packet exchange, flattened for serialization.
 type Event struct {
@@ -64,11 +84,14 @@ func FromExchange(seq int, ex *cos.Exchange, dataBytes int) Event {
 	}
 }
 
-// Writer streams events as JSON lines.
+// Writer streams events as JSON lines, prefixed by the schema header.
 type Writer struct {
-	w   *bufio.Writer
-	enc *json.Encoder
-	n   int
+	w         *bufio.Writer
+	enc       *json.Encoder
+	n         int
+	headerErr error
+	wroteHdr  bool
+	obsErr    error
 }
 
 // NewWriter wraps w.
@@ -77,8 +100,17 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bw, enc: json.NewEncoder(bw)}
 }
 
-// Write appends one event.
+// Write appends one event; the first call emits the schema header line.
 func (t *Writer) Write(e Event) error {
+	if !t.wroteHdr {
+		t.wroteHdr = true
+		if err := t.enc.Encode(header{Schema: SchemaVersion}); err != nil {
+			t.headerErr = fmt.Errorf("trace: header: %w", err)
+		}
+	}
+	if t.headerErr != nil {
+		return t.headerErr
+	}
 	if err := t.enc.Encode(e); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
@@ -86,26 +118,69 @@ func (t *Writer) Write(e Event) error {
 	return nil
 }
 
-// Count returns the number of events written.
+// Observer returns a sink for the link's exchange stream: attach it with
+// cos.WithObserver and every completed exchange is appended to the trace
+// with its on-link sequence number. Write errors are deferred to Err,
+// since observers cannot fail the exchange.
+func (t *Writer) Observer() cos.Observer {
+	return func(ex *cos.Exchange) {
+		if t.obsErr != nil {
+			return
+		}
+		if err := t.Write(FromExchange(ex.Seq, ex, ex.DataBytes)); err != nil {
+			t.obsErr = err
+		}
+	}
+}
+
+// Err returns the first error an Observer write hit, if any.
+func (t *Writer) Err() error { return t.obsErr }
+
+// Count returns the number of events written (the header is not an
+// event).
 func (t *Writer) Count() int { return t.n }
 
 // Flush drains buffered output; call before closing the underlying file.
 func (t *Writer) Flush() error { return t.w.Flush() }
 
-// Read loads every event from a JSON-lines stream.
+// Read loads every event from a JSON-lines stream. A leading schema
+// header is consumed when present (its absence means a version-0 file);
+// unknown fields on events are ignored, so traces from newer builds with
+// extra instrumentation still load.
 func Read(r io.Reader) ([]Event, error) {
+	events, _, err := ReadVersioned(r)
+	return events, err
+}
+
+// ReadVersioned is Read, also reporting the file's schema version (0 for
+// headerless pre-versioning files).
+func ReadVersioned(r io.Reader) ([]Event, int, error) {
 	var out []Event
+	version := 0
 	dec := json.NewDecoder(r)
+	first := true
 	for {
-		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", len(out), err)
+			return nil, version, fmt.Errorf("trace: event %d: %w", len(out), err)
+		}
+		if first {
+			first = false
+			var h header
+			if err := json.Unmarshal(raw, &h); err == nil && h.Schema > 0 {
+				version = h.Schema
+				continue
+			}
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, version, fmt.Errorf("trace: event %d: %w", len(out), err)
 		}
 		out = append(out, e)
 	}
-	return out, nil
+	return out, version, nil
 }
 
 // Summary aggregates a trace.

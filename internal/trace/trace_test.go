@@ -51,6 +51,64 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestWriterEmitsSchemaHeader(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	if err := w.Write(Event{Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(b.String(), "\n", 2)[0]
+	if first != `{"cos_trace_schema":1}` {
+		t.Errorf("first line = %q, want the schema header", first)
+	}
+	events, version, err := ReadVersioned(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != SchemaVersion {
+		t.Errorf("version = %d, want %d", version, SchemaVersion)
+	}
+	if len(events) != 1 {
+		t.Errorf("header leaked into events: %d events", len(events))
+	}
+}
+
+func TestReadHeaderlessV0File(t *testing.T) {
+	// Traces written before versioning have no header line; they must
+	// still load, reporting version 0.
+	in := `{"seq":0,"data_ok":true}
+{"seq":1,"rate_mbps":24}
+`
+	events, version, err := ReadVersioned(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 0 {
+		t.Errorf("version = %d, want 0", version)
+	}
+	if len(events) != 2 || !events[0].DataOK || events[1].RateMbps != 24 {
+		t.Errorf("v0 events misread: %+v", events)
+	}
+}
+
+func TestReadToleratesUnknownFields(t *testing.T) {
+	// A trace from a future, more instrumented build carries extra fields;
+	// readers keep what they know and ignore the rest.
+	in := `{"cos_trace_schema":1}
+{"seq":0,"data_ok":true,"erasure_count":12,"pipeline_stage_ns":{"tx":100}}
+`
+	events, version, err := ReadVersioned(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || len(events) != 1 || !events[0].DataOK {
+		t.Errorf("version=%d events=%+v", version, events)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s, err := Summarize(sampleEvents())
 	if err != nil {
@@ -80,6 +138,45 @@ func TestSummarize(t *testing.T) {
 	}
 	if _, err := Summarize(nil); err == nil {
 		t.Error("empty trace should error")
+	}
+}
+
+func TestObserverCapturesSession(t *testing.T) {
+	// The observer hook is how CLIs capture traces now: attach it and the
+	// writer sees every exchange with its on-link sequence number.
+	var b strings.Builder
+	w := NewWriter(&b)
+	link, err := cos.NewLink(cos.WithSNR(20), cos.WithSeed(81), cos.WithObserver(w.Observer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256)
+	rand.New(rand.NewSource(82)).Read(data)
+	for i := 0; i < 4; i++ {
+		if _, err := link.Send(data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 4 {
+		t.Fatalf("observer captured %d events, want 4", w.Count())
+	}
+	events, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+		if e.DataBytes != len(data) {
+			t.Errorf("event %d DataBytes = %d", i, e.DataBytes)
+		}
 	}
 }
 

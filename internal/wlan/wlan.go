@@ -12,8 +12,29 @@ package wlan
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"cos"
+	"cos/internal/obs"
+)
+
+// Coordination metrics: grant delivery split by transport and the airtime
+// ledger the CoS-vs-explicit comparison is built on.
+var (
+	mGrantsDelivered = obs.Default().CounterFamily("wlan_grants_delivered_total",
+		"Coordination grants delivered, by transport (cos or explicit).", "transport")
+	mGrantsLost = obs.Default().CounterFamily("wlan_grants_lost_total",
+		"Coordination grants lost, by transport (cos or explicit).", "transport")
+	mRounds = obs.Default().Counter("wlan_rounds_total",
+		"Scheduling rounds executed.")
+	mIdleRounds = obs.Default().Counter("wlan_idle_rounds_total",
+		"Rounds idled because the previous grant never arrived.")
+	mDataAirtime = obs.Default().Gauge("wlan_data_airtime_seconds",
+		"Accumulated airtime spent on data frames.")
+	mControlAirtime = obs.Default().Gauge("wlan_control_airtime_seconds",
+		"Accumulated airtime spent on explicit coordination frames.")
+	mGrantedStation = obs.Default().CounterFamily("wlan_station_grants_total",
+		"Grants issued per station.", "station")
 )
 
 // StationID identifies a station (1-based).
@@ -249,12 +270,16 @@ func (n *Network) Run(rounds int) (*Report, error) {
 		next := StationID(int(current)%n.cfg.Stations + 1)
 		n.seq = (n.seq + 1) & 0xF
 		grant := Grant{Station: next, Slots: 1 + n.rng.Intn(8), Seq: n.seq}
+		mRounds.Inc()
+		mGrantedStation.With(strconv.Itoa(int(next))).Inc()
 
 		if !granted {
 			// The previous grant never arrived: the slot idles and the AP
 			// re-issues the grant explicitly (recovery always costs an
 			// explicit frame, whichever scheme is in use).
 			rep.ControlAirtime += explicitGrantAirtime
+			mControlAirtime.Add(explicitGrantAirtime)
+			mIdleRounds.Inc()
 			granted = true
 			continue
 		}
@@ -281,6 +306,7 @@ func (n *Network) Run(rounds int) (*Report, error) {
 			return nil, err
 		}
 		rep.DataAirtime += packetAirtime(ex, n.cfg.PayloadBytes)
+		mDataAirtime.Add(packetAirtime(ex, n.cfg.PayloadBytes))
 		if ex.DataOK {
 			rep.DataDelivered++
 			rep.PerStation[int(current)-1]++
@@ -295,18 +321,22 @@ func (n *Network) Run(rounds int) (*Report, error) {
 			if ex.ControlVerified {
 				if got, err := ParseGrant(ex.ControlPayload); err == nil && got == grant {
 					rep.GrantsDelivered++
+					mGrantsDelivered.With("cos").Inc()
 					granted = true
 				} else {
 					rep.GrantsLost++
+					mGrantsLost.With("cos").Inc()
 					granted = false
 				}
 			} else {
 				rep.GrantsLost++
+				mGrantsLost.With("cos").Inc()
 				granted = false
 			}
 		case n.cfg.Coordination == CoordCoS:
 			// Budget too small this packet: fall back to an explicit frame.
 			rep.ControlAirtime += explicitGrantAirtime
+			mControlAirtime.Add(explicitGrantAirtime)
 			delivered, err := n.sendExplicitGrant(link)
 			if err != nil {
 				return nil, err
@@ -314,11 +344,14 @@ func (n *Network) Run(rounds int) (*Report, error) {
 			granted = delivered
 			if delivered {
 				rep.GrantsDelivered++
+				mGrantsDelivered.With("explicit").Inc()
 			} else {
 				rep.GrantsLost++
+				mGrantsLost.With("explicit").Inc()
 			}
 		default:
 			rep.ControlAirtime += explicitGrantAirtime
+			mControlAirtime.Add(explicitGrantAirtime)
 			delivered, err := n.sendExplicitGrant(link)
 			if err != nil {
 				return nil, err
@@ -326,8 +359,10 @@ func (n *Network) Run(rounds int) (*Report, error) {
 			granted = delivered
 			if delivered {
 				rep.GrantsDelivered++
+				mGrantsDelivered.With("explicit").Inc()
 			} else {
 				rep.GrantsLost++
+				mGrantsLost.With("explicit").Inc()
 			}
 		}
 		current = next

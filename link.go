@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"time"
 
 	"cos/internal/bits"
 	"cos/internal/channel"
 	icos "cos/internal/cos"
+	"cos/internal/obs"
 	"cos/internal/ofdm"
 	"cos/internal/phy"
 )
@@ -26,6 +29,8 @@ type Link struct {
 	rng     *rand.Rand
 	rateTbl *icos.RateTable
 	now     float64
+	seq     int
+	metrics linkMetrics
 
 	// Receiver feedback state (valid after the first successful packet).
 	haveFeedback bool
@@ -39,8 +44,19 @@ type Link struct {
 	lastSCSNRs   []float64
 }
 
+// Observer receives every completed exchange, immediately after the link
+// finishes processing it and before Send returns. Observers are the
+// link's event stream: trace capture, metrics sinks, and experiment
+// bookkeeping all consume the same hook (see WithObserver). The Exchange
+// is shared — observers must not mutate or retain it past the call.
+type Observer func(*Exchange)
+
 // Exchange reports everything observable about one packet exchange.
 type Exchange struct {
+	// Seq is the 0-based index of this exchange on its link.
+	Seq int
+	// DataBytes is the sender's data payload length.
+	DataBytes int
 	// Mode is the 802.11a mode the sender selected.
 	Mode phy.Mode
 	// DataOK reports whether the data payload passed its frame check.
@@ -77,6 +93,73 @@ type Exchange struct {
 	Time float64
 }
 
+// linkMetrics holds the link's metric handles, resolved once at
+// construction so the per-packet cost is a handful of atomic updates.
+// Links sharing a registry (the default) share the counters.
+type linkMetrics struct {
+	exchanges      *obs.Counter
+	dataOK         *obs.Counter
+	dataLost       *obs.Counter
+	ctrlSent       *obs.Counter
+	ctrlOK         *obs.Counter
+	ctrlVerified   *obs.Counter
+	ctrlBitsSent   *obs.Counter
+	silences       *obs.Counter
+	feedbackLosses *obs.Counter
+	exchangeTime   *obs.Histogram
+	ratePackets    *obs.CounterFamily
+
+	// SendStream counters (see stream.go).
+	streams            *obs.Counter
+	streamsDelivered   *obs.Counter
+	streamStallAborts  *obs.Counter
+	streamFragAborts   *obs.Counter
+	streamStalledPkts  *obs.Counter
+	fragmentsSent      *obs.Counter
+	fragmentsDelivered *obs.Counter
+}
+
+func newLinkMetrics(r *obs.Registry) linkMetrics {
+	return linkMetrics{
+		exchanges: r.Counter("cos_link_exchanges_total",
+			"Packet exchanges completed by Link.Send."),
+		dataOK: r.Counter("cos_link_data_ok_total",
+			"Exchanges whose data payload passed its frame check."),
+		dataLost: r.Counter("cos_link_data_lost_total",
+			"Exchanges whose data payload failed its frame check."),
+		ctrlSent: r.Counter("cos_link_control_sent_total",
+			"Exchanges that carried embedded control bits."),
+		ctrlOK: r.Counter("cos_link_control_ok_total",
+			"Control messages delivered (genie comparison)."),
+		ctrlVerified: r.Counter("cos_link_control_verified_total",
+			"Control messages validated by the framing CRC."),
+		ctrlBitsSent: r.Counter("cos_link_control_bits_total",
+			"Control bits embedded across all exchanges."),
+		silences: r.Counter("cos_link_silences_total",
+			"Silence symbols inserted across all exchanges."),
+		feedbackLosses: r.Counter("cos_link_feedback_losses_total",
+			"Exchanges after which the sender had no usable feedback (data or feedback-frame loss)."),
+		exchangeTime: r.Histogram("cos_link_exchange_seconds",
+			"Wall-clock latency of one full Link.Send exchange.", nil),
+		ratePackets: r.CounterFamily("cos_link_rate_packets_total",
+			"Packets sent per 802.11a data rate.", "rate_mbps"),
+		streams: r.Counter("cos_stream_sends_total",
+			"SendStream transfers started."),
+		streamsDelivered: r.Counter("cos_stream_delivered_total",
+			"SendStream transfers fully reassembled at the receiver."),
+		streamStallAborts: r.Counter("cos_stream_stall_aborts_total",
+			"SendStream transfers abandoned after consecutive budget-starved packets."),
+		streamFragAborts: r.Counter("cos_stream_fragment_aborts_total",
+			"SendStream transfers aborted by a lost or corrupted fragment."),
+		streamStalledPkts: r.Counter("cos_stream_stalled_packets_total",
+			"Data-only packets pushed while a stream waited out a budget dip."),
+		fragmentsSent: r.Counter("cos_stream_fragments_sent_total",
+			"Stream fragments embedded into packets."),
+		fragmentsDelivered: r.Counter("cos_stream_fragments_delivered_total",
+			"Stream fragments CRC-verified at the receiver."),
+	}
+}
+
 // NewLink builds a link from options. The zero-option link is PositionB,
 // static, 18 dB SNR, adaptive everything.
 func NewLink(opts ...Option) (*Link, error) {
@@ -100,6 +183,7 @@ func NewLink(opts ...Option) (*Link, error) {
 		ch:      ch,
 		rng:     rand.New(rand.NewSource(cfg.seed)),
 		rateTbl: icos.DefaultRateTable(),
+		metrics: newLinkMetrics(cfg.metrics),
 	}, nil
 }
 
@@ -208,6 +292,7 @@ var defaultCtrlSCs = []int{9, 10, 11, 12, 13, 14, 15, 16}
 // configured bits-per-interval and fit within MaxControlBits; pass nil to
 // send a data-only packet.
 func (l *Link) Send(data, control []byte) (*Exchange, error) {
+	start := time.Now()
 	mode, err := l.mode()
 	if err != nil {
 		return nil, err
@@ -226,7 +311,7 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 	if len(ctrlSCs) == 0 {
 		ctrlSCs = defaultCtrlSCs
 	}
-	ex := &Exchange{Mode: mode, Time: l.now, ControlSubcarriers: ctrlSCs}
+	ex := &Exchange{Seq: l.seq, DataBytes: len(data), Mode: mode, Time: l.now, ControlSubcarriers: ctrlSCs}
 
 	var truthMask [][]bool
 	wire := control
@@ -334,10 +419,41 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 		l.haveFeedback = false
 		l.noDetectable = false
 		l.ctrlSCs = nil
+		l.metrics.feedbackLosses.Inc()
 	}
 
+	l.seq++
+	l.observe(ex, start)
 	l.now += l.cfg.packetInterval
 	return ex, nil
+}
+
+// observe updates the link's per-exchange metrics and fans the exchange
+// out to registered observers.
+func (l *Link) observe(ex *Exchange, start time.Time) {
+	m := &l.metrics
+	m.exchanges.Inc()
+	if ex.DataOK {
+		m.dataOK.Inc()
+	} else {
+		m.dataLost.Inc()
+	}
+	if len(ex.ControlSent) > 0 {
+		m.ctrlSent.Inc()
+		m.ctrlBitsSent.Add(uint64(len(ex.ControlSent)))
+		if ex.ControlOK {
+			m.ctrlOK.Inc()
+		}
+		if ex.ControlVerified {
+			m.ctrlVerified.Inc()
+		}
+	}
+	m.silences.Add(uint64(ex.SilencesInserted))
+	m.ratePackets.With(strconv.Itoa(ex.Mode.RateMbps)).Inc()
+	m.exchangeTime.ObserveSince(start)
+	for _, o := range l.cfg.observers {
+		o(ex)
+	}
 }
 
 // updateFeedback recomputes the receiver's EVM picture from the decoded
@@ -432,6 +548,7 @@ func (l *Link) updateFeedback(txCfg phy.TxConfig, fe *phy.FrontEnd, psdu []byte,
 		if err != nil {
 			// Feedback lost: the sender behaves as after a data loss
 			// (Sec. III-F) — conservative settings next packet.
+			l.metrics.feedbackLosses.Inc()
 			l.haveFeedback = false
 			l.noDetectable = false
 			l.ctrlSCs = nil

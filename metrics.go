@@ -1,0 +1,23 @@
+package cos
+
+import "cos/internal/obs"
+
+// MetricsRegistry is the observability registry the pipeline reports
+// into: counters, gauges, and bounded histograms with a Snapshot() API,
+// Prometheus text exposition, and expvar JSON (see internal/obs and the
+// README's "Observability" section).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty, isolated registry for injection
+// via WithMetricsRegistry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry: the one every link
+// uses unless overridden, the one the internal pipeline stages
+// (PHY, detector, Viterbi, rate control, WLAN coordination) always use,
+// and the one the CLIs expose with -metrics-addr.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// MetricsSnapshot flattens the default registry into name->value pairs;
+// histograms expand to _count, _sum, _p50, _p95 and _p99 keys.
+func MetricsSnapshot() map[string]float64 { return obs.Snapshot() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cos/internal/channel"
+	"cos/internal/obs"
 )
 
 // Position identifies a canonical indoor receiver placement; the three
@@ -38,6 +39,8 @@ type config struct {
 	disableCoS       bool
 	explicitFeedback bool
 	controlFraming   bool
+	observers        []Observer
+	metrics          *obs.Registry
 }
 
 func defaultConfig() config {
@@ -50,6 +53,7 @@ func defaultConfig() config {
 		maxCtrl:         8,
 		adaptiveBudget:  true,
 		packetInterval:  2e-3,
+		metrics:         obs.Default(),
 	}
 }
 
@@ -206,6 +210,34 @@ func WithExplicitFeedback() Option {
 func WithControlFraming() Option {
 	return func(c *config) error {
 		c.controlFraming = true
+		return nil
+	}
+}
+
+// WithObserver registers an observer on the link's exchange stream; every
+// completed Send (and every packet SendStream pushes) is delivered to
+// each observer in registration order. Trace capture
+// (trace.Writer.Observer), metrics sinks, and experiment bookkeeping all
+// ride this one hook.
+func WithObserver(o Observer) Option {
+	return func(c *config) error {
+		if o == nil {
+			return fmt.Errorf("cos: nil observer")
+		}
+		c.observers = append(c.observers, o)
+		return nil
+	}
+}
+
+// WithMetricsRegistry redirects the link's metrics to r instead of the
+// process-wide default registry — an isolated registry lets tests assert
+// exact counts without cross-talk from other links.
+func WithMetricsRegistry(r *MetricsRegistry) Option {
+	return func(c *config) error {
+		if r == nil {
+			return fmt.Errorf("cos: nil metrics registry")
+		}
+		c.metrics = r
 		return nil
 	}
 }

@@ -39,6 +39,7 @@ func (l *Link) SendStream(payload, data []byte) (*StreamResult, error) {
 	if len(payload) == 0 {
 		return nil, fmt.Errorf("cos: empty stream payload")
 	}
+	l.metrics.streams.Inc()
 
 	// Pick a fragment size from the current budget, floored so odd budgets
 	// still make progress and capped to keep per-packet silence counts low.
@@ -75,8 +76,10 @@ func (l *Link) SendStream(payload, data []byte) (*StreamResult, error) {
 				return nil, err
 			}
 			res.PacketsUsed++
+			l.metrics.streamStalledPkts.Inc()
 			stalls++
 			if stalls >= maxStreamStalls {
+				l.metrics.streamStallAborts.Inc()
 				return res, nil
 			}
 			continue
@@ -88,20 +91,26 @@ func (l *Link) SendStream(payload, data []byte) (*StreamResult, error) {
 		}
 		res.PacketsUsed++
 		res.FragmentsSent++
+		l.metrics.fragmentsSent.Inc()
 		if !ex.ControlVerified {
+			l.metrics.streamFragAborts.Inc()
 			return res, nil // fragment lost: abort the stream
 		}
 		res.FragmentsDelivered++
+		l.metrics.fragmentsDelivered.Inc()
 		msg, done, err := re.Push(ex.ControlPayload)
 		if err != nil {
+			l.metrics.streamFragAborts.Inc()
 			return res, nil // header corrupted into a non-continuation
 		}
 		if done {
 			res.Delivered = true
 			res.Payload = msg
+			l.metrics.streamsDelivered.Inc()
 			return res, nil
 		}
 		i++
 	}
+	l.metrics.streamFragAborts.Inc()
 	return res, nil
 }
