@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -21,14 +21,24 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The pre-merge gate: compile, vet, formatting, quick tests.
+# The pre-merge gate: compile, vet, formatting, quick tests, and the
+# parallel engine's determinism/cancellation tests under the race
+# detector (the parallel tests exercise workers 2, 4 and 7 internally).
 ci: build vet
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test -short ./...
+	$(GO) test -race -run 'TestParallelMatchesSerial|TestRunnerCancellation' ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Regenerate BENCH_parallel.json: times each figure serially (workers=1)
+# and at GOMAXPROCS workers, asserts the outputs are byte-identical, and
+# records the speedup. Fully deterministic apart from the wall-clock
+# timings themselves.
+bench-parallel:
+	$(GO) test -run TestWriteBenchParallelReport -bench-parallel-out BENCH_parallel.json -v .
 
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:

@@ -7,19 +7,26 @@
 //	cos-figures -list
 //	cos-figures -fig fig9 [-scale 0.2]
 //	cos-figures -fig all -scale 0.1 -out results/
-//	cos-figures -fig all -metrics-addr :8080 -stats 10s
+//	cos-figures -fig all -workers 8 -metrics-addr :8080 -stats 10s
 //
 // Scale 1 (default) is the publication-quality run; smaller scales shrink
-// packet counts proportionally for quick looks. Long runs are worth
-// watching live: -metrics-addr serves /metrics and /debug/pprof/, and
-// -stats prints a periodic pipeline stats line to stderr.
+// packet counts proportionally for quick looks. Figures decompose into
+// point-tasks that run across -workers goroutines (default: all CPUs) with
+// bit-identical output at any worker count; ctrl-C cancels a run mid-sweep.
+// Long runs are worth watching live: -metrics-addr serves /metrics and
+// /debug/pprof/, and -stats prints a periodic pipeline stats line to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"syscall"
 
 	"cos/internal/experiments"
 	"cos/internal/obs/obshttp"
@@ -29,6 +36,8 @@ func main() {
 	var (
 		fig      = flag.String("fig", "all", "experiment ID (see -list) or 'all'")
 		scale    = flag.Float64("scale", 1, "sample-size scale; 1 = publication quality")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for point-tasks (results identical for any count)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
 		out      = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
 		plot     = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -51,13 +60,23 @@ func main() {
 		return
 	}
 
+	// Ctrl-C (or SIGTERM) cancels the context; the point-task pool drains
+	// and the run exits mid-sweep instead of finishing the figure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiments.RunOptions{Scale: *scale, Workers: *workers, Seed: *seed}
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
-		res, err := experiments.Run(id, *scale)
+		res, err := experiments.Run(ctx, id, opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "cos-figures: %s: interrupted\n", id)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "cos-figures: %s: %v\n", id, err)
 			os.Exit(1)
 		}

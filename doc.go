@@ -21,6 +21,31 @@
 //	ex, err := link.Send(data, controlBits)
 //	// ex.DataOK, ex.ControlOK, ex.Detection, ex.MeasuredSNRdB, ...
 //
+// # Errors
+//
+// Failures are typed. Option validation surfaces *ConfigError (match with
+// errors.As; Option names the offending With* option and Reason says what
+// was wrong). Send and SendStream wrap sentinel errors — ErrCoSDisabled,
+// ErrBudgetExceeded, ErrControlAlignment, ErrFramingRequired — so callers
+// branch with errors.Is instead of string matching:
+//
+//	if _, err := link.Send(data, ctrl); errors.Is(err, cos.ErrBudgetExceeded) {
+//		ctrl = ctrl[:0] // back off and retry data-only
+//	}
+//
+// SendStream reports how a stream ended in StreamResult.Outcome
+// (StreamDelivered, StreamStallAborted, StreamFragmentLost,
+// StreamHeaderCorrupted); the boolean Delivered field is derived from it.
+//
+// # Retaining exchanges
+//
+// The *Exchange delivered to a WithObserver callback may share slice
+// memory (Data, ControlSent, ControlSubcarriers, ...) with live link
+// state that later packets overwrite. Observers that only read fields
+// synchronously need nothing special; observers that retain or mutate an
+// exchange past the callback must take an Exchange.Clone(), which deep-
+// copies every slice field.
+//
 // Lower layers live under internal/: the 802.11a PHY (internal/phy), OFDM
 // waveform (internal/ofdm), channel coding with erasure Viterbi decoding
 // (internal/coding), constellations and EVM (internal/modulation), the

@@ -1,0 +1,49 @@
+package cos
+
+import "errors"
+
+// Sentinel errors for the failure classes callers branch on. They are always
+// returned wrapped with context, so test with errors.Is:
+//
+//	if _, err := link.Send(data, ctrl); errors.Is(err, cos.ErrBudgetExceeded) {
+//		ctrl = ctrl[:0] // retry data-only
+//	}
+var (
+	// ErrBudgetExceeded reports a control message larger than the current
+	// adaptive silence budget allows (see Link.MaxControlBits).
+	ErrBudgetExceeded = errors.New("control bits exceed the silence budget")
+	// ErrCoSDisabled reports an attempt to embed control bits on a link
+	// built with WithoutCoS.
+	ErrCoSDisabled = errors.New("CoS is disabled on this link")
+	// ErrControlAlignment reports a control message whose length is not a
+	// multiple of the configured bits-per-interval (and the link has no
+	// framing layer to pad it).
+	ErrControlAlignment = errors.New("control bits not aligned to the interval size")
+	// ErrFramingRequired reports an operation that needs the
+	// WithControlFraming integrity layer on a link built without it.
+	ErrFramingRequired = errors.New("control framing required")
+)
+
+// ConfigError reports an invalid option value passed to NewLink (or to the
+// option itself). It wraps the validation failure so callers can test with
+// errors.As:
+//
+//	var ce *cos.ConfigError
+//	if errors.As(err, &ce) {
+//		log.Printf("bad option %s: %s", ce.Option, ce.Reason)
+//	}
+type ConfigError struct {
+	// Option names the option constructor, e.g. "WithSNR".
+	Option string
+	// Reason describes the rejected value.
+	Reason string
+	// Err is an optional underlying cause.
+	Err error
+}
+
+// Error keeps the historical "cos: <reason>" message shape so existing log
+// scraping and error-string matches keep working.
+func (e *ConfigError) Error() string { return "cos: " + e.Reason }
+
+// Unwrap returns the underlying cause, if any.
+func (e *ConfigError) Unwrap() error { return e.Err }

@@ -1,0 +1,171 @@
+package cos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Every typed error must be reachable through errors.Is/As from the public
+// entry points (NewLink, Send, SendStream), wrapped with a contextual
+// message.
+
+func TestConfigErrorFromOptions(t *testing.T) {
+	cases := []struct {
+		name   string
+		opt    Option
+		option string
+	}{
+		{"snr", WithSNR(99), "WithSNR"},
+		{"bits-per-interval", WithBitsPerInterval(0), "WithBitsPerInterval"},
+		{"subcarrier-range", WithControlSubcarrierRange(0, 4), "WithControlSubcarrierRange"},
+		{"detector-factor", WithDetectorFactor(-1), "WithDetectorFactor"},
+		{"silence-budget", WithSilenceBudget(-1), "WithSilenceBudget"},
+		{"packet-interval", WithPacketInterval(0), "WithPacketInterval"},
+		{"observer", WithObserver(nil), "WithObserver"},
+		{"metrics-registry", WithMetricsRegistry(nil), "WithMetricsRegistry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewLink(tc.opt)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *ConfigError", err)
+			}
+			if ce.Option != tc.option {
+				t.Errorf("Option = %q, want %q", ce.Option, tc.option)
+			}
+			if ce.Reason == "" {
+				t.Error("empty Reason")
+			}
+			// Historical message shape: "cos: <reason>".
+			if !strings.HasPrefix(err.Error(), "cos: ") {
+				t.Errorf("message %q lost the cos: prefix", err.Error())
+			}
+		})
+	}
+}
+
+func TestErrCoSDisabled(t *testing.T) {
+	link, err := NewLink(WithoutCoS(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = link.Send(make([]byte, 256), []byte{1, 0, 1, 0})
+	if !errors.Is(err, ErrCoSDisabled) {
+		t.Errorf("err = %v, want ErrCoSDisabled", err)
+	}
+}
+
+func TestErrBudgetExceeded(t *testing.T) {
+	link, err := NewLink(WithSNR(20), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 4096)
+	_, err = link.Send(make([]byte, 256), big)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestErrControlAlignment(t *testing.T) {
+	link, err := NewLink(WithSNR(20), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = link.Send(make([]byte, 256), []byte{1, 0, 1}) // 3 bits, k=4
+	if !errors.Is(err, ErrControlAlignment) {
+		t.Errorf("err = %v, want ErrControlAlignment", err)
+	}
+}
+
+func TestErrFramingRequired(t *testing.T) {
+	link, err := NewLink(WithSNR(20), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = link.SendStream(make([]byte, 40), make([]byte, 256))
+	if !errors.Is(err, ErrFramingRequired) {
+		t.Errorf("err = %v, want ErrFramingRequired", err)
+	}
+}
+
+func TestExchangeClone(t *testing.T) {
+	link, err := NewLink(WithSNR(22), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256)
+	// Warm the feedback loop, then size the control bits to the budget so
+	// the exchange carries control whenever the link allows any.
+	var ex *Exchange
+	for i := 0; i < 4; i++ {
+		budget, err := link.MaxControlBits(len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := budget / 4 * 4
+		if n > 8 {
+			n = 8
+		}
+		ex, err = link.Send(data, make([]byte, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := ex.Clone()
+	if cp == ex {
+		t.Fatal("Clone returned the same pointer")
+	}
+	if len(cp.ControlSent) != len(ex.ControlSent) || len(cp.ControlSubcarriers) != len(ex.ControlSubcarriers) {
+		t.Fatal("Clone dropped slice contents")
+	}
+	// Mutating the clone must not reach the original. (The original's
+	// slices may alias live link state — ControlSubcarriers can be the
+	// link's current selection — which is exactly why retaining observers
+	// clone.)
+	if len(cp.ControlSent) > 0 {
+		want := ex.ControlSent[0]
+		cp.ControlSent[0] ^= 1
+		if ex.ControlSent[0] != want {
+			t.Error("ControlSent aliased")
+		}
+	}
+	if len(cp.ControlSubcarriers) > 0 {
+		want := ex.ControlSubcarriers[0]
+		cp.ControlSubcarriers[0] += 100
+		if ex.ControlSubcarriers[0] != want {
+			t.Error("ControlSubcarriers aliased")
+		}
+	}
+	if cp.Data != nil {
+		want := ex.Data[0]
+		cp.Data[0] ^= 0xff
+		if ex.Data[0] != want {
+			t.Error("Data aliased")
+		}
+	}
+	var nilEx *Exchange
+	if nilEx.Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+func TestStreamOutcomeString(t *testing.T) {
+	cases := map[StreamOutcome]string{
+		StreamDelivered:       "delivered",
+		StreamStallAborted:    "stall-aborted",
+		StreamFragmentLost:    "fragment-lost",
+		StreamHeaderCorrupted: "header-corrupted",
+		StreamOutcome(0):      "StreamOutcome(0)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"cos/internal/dsp"
 	"cos/internal/ofdm"
 	"cos/internal/phy"
+	"cos/internal/pool"
 )
 
 // AblationConfig parameterizes the design-choice ablations.
@@ -20,6 +22,8 @@ type AblationConfig struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *AblationConfig) setDefaults() {
@@ -37,10 +41,9 @@ func (c *AblationConfig) setDefaults() {
 // AblationEVD compares erasure Viterbi decoding (silences marked via the
 // detected mask) against erasure-ignorant decoding (silences demapped as if
 // they were data) as the silence load grows: PRR vs silences per packet.
-// This isolates the value of Sec. III-E.
-func AblationEVD(cfg AblationConfig) (*Result, error) {
+// This isolates the value of Sec. III-E. Each budget is one pool task.
+func AblationEVD(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(24)
 	if err != nil {
 		return nil, err
@@ -54,15 +57,10 @@ func AblationEVD(cfg AblationConfig) (*Result, error) {
 	budgets := []int{0, 4, 8, 16, 24, 32, 48, 64}
 	nSym := mode.SymbolsForPSDU(1024)
 
-	res := &Result{
-		ID:     "ablation-evd",
-		Title:  "Erasure-aware vs erasure-ignorant decoding (24 Mb/s, 15 dB)",
-		XLabel: "silence symbols per packet",
-		YLabel: "packet reception rate",
-	}
-	evd := Series{Name: "ErasureViterbi"}
-	ignorant := Series{Name: "ErasureIgnorant"}
-	for _, b := range budgets {
+	type point struct{ evd, ign float64 }
+	pts := make([]point, len(budgets))
+	err = pool.ForEach(ctx, cfg.Workers, len(budgets), cfg.Seed, func(i int, rng *rand.Rand) error {
+		b := budgets[i]
 		ctrlSCs := fig10CtrlSCs
 		if b > 0 {
 			if sel, err := selectCtrlSCsForBudget(ch, 0, snr, mode, nSym, b, icos.DefaultBitsPerInterval, rng); err == nil {
@@ -71,6 +69,9 @@ func AblationEVD(cfg AblationConfig) (*Result, error) {
 		}
 		okEVD, okIgn := 0, 0
 		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			trial := cosTrialConfig{
 				mode: mode, psduLen: 1024, silences: b,
 				k: icos.DefaultBitsPerInterval, ctrlSCs: ctrlSCs,
@@ -93,10 +94,26 @@ func AblationEVD(cfg AblationConfig) (*Result, error) {
 				okIgn++
 			}
 		}
+		pts[i] = point{evd: float64(okEVD) / float64(packets), ign: float64(okIgn) / float64(packets)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "ablation-evd",
+		Title:  "Erasure-aware vs erasure-ignorant decoding (24 Mb/s, 15 dB)",
+		XLabel: "silence symbols per packet",
+		YLabel: "packet reception rate",
+	}
+	evd := Series{Name: "ErasureViterbi"}
+	ignorant := Series{Name: "ErasureIgnorant"}
+	for i, b := range budgets {
 		evd.X = append(evd.X, float64(b))
-		evd.Y = append(evd.Y, float64(okEVD)/float64(packets))
+		evd.Y = append(evd.Y, pts[i].evd)
 		ignorant.X = append(ignorant.X, float64(b))
-		ignorant.Y = append(ignorant.Y, float64(okIgn)/float64(packets))
+		ignorant.Y = append(ignorant.Y, pts[i].ign)
 	}
 	res.Add(evd)
 	res.Add(ignorant)
@@ -108,9 +125,9 @@ func AblationEVD(cfg AblationConfig) (*Result, error) {
 // and on the strongest subcarriers. Decoding uses the genie mask so the
 // measurement isolates how many *new* symbol errors each placement adds,
 // independent of detection quality — the claim of Sec. II-D.
-func AblationPlacement(cfg AblationConfig) (*Result, error) {
+// Each (placement, budget) cell is one pool task.
+func AblationPlacement(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(36)
 	if err != nil {
 		return nil, err
@@ -156,15 +173,49 @@ func AblationPlacement(cfg AblationConfig) (*Result, error) {
 
 	placements := []struct {
 		name string
-		scs  func() []int
+		scs  func(rng *rand.Rand) []int
 	}{
-		{"WeakSubcarriers", func() []int { return weak }},
-		{"RandomSubcarriers", func() []int {
+		{"WeakSubcarriers", func(*rand.Rand) []int { return weak }},
+		{"RandomSubcarriers", func(rng *rand.Rand) []int {
 			perm := rng.Perm(ofdm.NumData)[:8]
 			sort.Ints(perm)
 			return perm
 		}},
-		{"StrongSubcarriers", func() []int { return strong }},
+		{"StrongSubcarriers", func(*rand.Rand) []int { return strong }},
+	}
+
+	prrs := make([]float64, len(placements)*len(budgets))
+	err = pool.ForEach(ctx, cfg.Workers, len(prrs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		pl := placements[i/len(budgets)]
+		b := budgets[i%len(budgets)]
+		ok := 0
+		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			scs := pl.scs(rng)
+			positions, err := randomPlacement(rng, b, nSym, scs)
+			if err != nil {
+				continue
+			}
+			trial := cosTrialConfig{
+				mode: mode, psduLen: 1024,
+				ctrlSCs: scs, placement: positions, genieMask: true,
+				detector: icos.Detector{Scheme: mode.Modulation},
+			}
+			r, err := runCoSTrial(ch, 0, snr, trial, rng)
+			if err != nil {
+				continue
+			}
+			if r.dataOK {
+				ok++
+			}
+		}
+		prrs[i] = float64(ok) / float64(packets)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{
@@ -173,31 +224,11 @@ func AblationPlacement(cfg AblationConfig) (*Result, error) {
 		XLabel: "silence symbols per packet",
 		YLabel: "packet reception rate",
 	}
-	for _, pl := range placements {
+	for pi, pl := range placements {
 		s := Series{Name: pl.name}
-		for _, b := range budgets {
-			ok := 0
-			for p := 0; p < packets; p++ {
-				scs := pl.scs()
-				positions, err := randomPlacement(rng, b, nSym, scs)
-				if err != nil {
-					continue
-				}
-				trial := cosTrialConfig{
-					mode: mode, psduLen: 1024,
-					ctrlSCs: scs, placement: positions, genieMask: true,
-					detector: icos.Detector{Scheme: mode.Modulation},
-				}
-				r, err := runCoSTrial(ch, 0, snr, trial, rng)
-				if err != nil {
-					continue
-				}
-				if r.dataOK {
-					ok++
-				}
-			}
+		for bi, b := range budgets {
 			s.X = append(s.X, float64(b))
-			s.Y = append(s.Y, float64(ok)/float64(packets))
+			s.Y = append(s.Y, prrs[pi*len(budgets)+bi])
 		}
 		res.Add(s)
 	}
@@ -224,9 +255,11 @@ func randomPlacement(rng *rand.Rand, n, nSym int, ctrlSCs []int) ([]icos.Pos, er
 // AblationThreshold compares the adaptive per-subcarrier detector against a
 // fixed global threshold on control-message delivery across SNRs — the
 // value of the pilot-aided noise tracking of Sec. III-C.
-func AblationThreshold(cfg AblationConfig) (*Result, error) {
+//
+// The fixed threshold is calibrated serially on the index-0 task RNG (it is
+// shared state for every point); the SNR points are pool tasks 1..len(snrs).
+func AblationThreshold(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(12)
 	if err != nil {
 		return nil, err
@@ -240,29 +273,28 @@ func AblationThreshold(cfg AblationConfig) (*Result, error) {
 
 	// The fixed threshold is calibrated once at the middle SNR, then used
 	// everywhere — what a non-adaptive implementation would do.
-	midActual, err := calibrateActualSNR(ch, 0, mode, 12, rng)
+	preludeRNG := pool.TaskRNG(cfg.Seed, 0)
+	midActual, err := calibrateActualSNR(ch, 0, mode, 12, preludeRNG)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := probe(ch, 0, mode, 256, midActual, rng)
+	pr, err := probe(ch, 0, mode, 256, midActual, preludeRNG)
 	if err != nil {
 		return nil, err
 	}
 	fixedTh := 6 * pr.fe.NoiseVar
 
-	res := &Result{
-		ID:     "ablation-threshold",
-		Title:  "Adaptive vs fixed detection threshold: control delivery vs SNR",
-		XLabel: "measured SNR (dB)",
-		YLabel: "control message delivery rate",
-	}
-	adaptive := Series{Name: "AdaptivePerSubcarrier"}
-	fixed := Series{Name: "FixedGlobal"}
 	nSym := mode.SymbolsForPSDU(1024)
-	for _, snr := range snrs {
-		actual, err := calibrateActualSNR(ch, 0, mode, snr, rng)
+	type point struct{ adaptive, fixed float64 }
+	pts := make([]point, len(snrs))
+	err = pool.ForEach(ctx, cfg.Workers, len(snrs)+1, cfg.Seed, func(i int, rng *rand.Rand) error {
+		if i == 0 {
+			return nil // index 0 is the serial calibration prelude above
+		}
+		si := i - 1
+		actual, err := calibrateActualSNR(ch, 0, mode, snrs[si], rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Both arms use the same per-SNR subcarrier selection so the
 		// comparison isolates the detector's threshold policy.
@@ -272,6 +304,9 @@ func AblationThreshold(cfg AblationConfig) (*Result, error) {
 		}
 		okA, okF := 0, 0
 		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			base := cosTrialConfig{
 				mode: mode, psduLen: 1024, silences: 12,
 				k: icos.DefaultBitsPerInterval, ctrlSCs: ctrlSCs,
@@ -285,10 +320,26 @@ func AblationThreshold(cfg AblationConfig) (*Result, error) {
 				okF++
 			}
 		}
+		pts[si] = point{adaptive: float64(okA) / float64(packets), fixed: float64(okF) / float64(packets)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "ablation-threshold",
+		Title:  "Adaptive vs fixed detection threshold: control delivery vs SNR",
+		XLabel: "measured SNR (dB)",
+		YLabel: "control message delivery rate",
+	}
+	adaptive := Series{Name: "AdaptivePerSubcarrier"}
+	fixed := Series{Name: "FixedGlobal"}
+	for i, snr := range snrs {
 		adaptive.X = append(adaptive.X, snr)
-		adaptive.Y = append(adaptive.Y, float64(okA)/float64(packets))
+		adaptive.Y = append(adaptive.Y, pts[i].adaptive)
 		fixed.X = append(fixed.X, snr)
-		fixed.Y = append(fixed.Y, float64(okF)/float64(packets))
+		fixed.Y = append(fixed.Y, pts[i].fixed)
 	}
 	res.Add(adaptive)
 	res.Add(fixed)
@@ -297,10 +348,9 @@ func AblationThreshold(cfg AblationConfig) (*Result, error) {
 
 // ControlAccuracy measures the paper's headline claim — control messages
 // delivered with close to 100% accuracy across the practical SNR region —
-// using the full closed-loop pipeline.
-func ControlAccuracy(cfg AblationConfig) (*Result, error) {
+// using the full closed-loop pipeline. One pool task per SNR point.
+func ControlAccuracy(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(12)
 	if err != nil {
 		return nil, err
@@ -313,18 +363,12 @@ func ControlAccuracy(cfg AblationConfig) (*Result, error) {
 	snrs := []float64{8, 10, 12, 14, 16, 18, 20, 22}
 	nSym := mode.SymbolsForPSDU(1024)
 
-	res := &Result{
-		ID:     "accuracy",
-		Title:  "Control message delivery accuracy vs measured SNR",
-		XLabel: "measured SNR (dB)",
-		YLabel: "delivery rate",
-	}
-	s := Series{Name: "ControlDelivery"}
-	d := Series{Name: "DataPRR"}
-	for _, snr := range snrs {
-		actual, err := calibrateActualSNR(ch, 0, mode, snr, rng)
+	type point struct{ ctrl, data float64 }
+	pts := make([]point, len(snrs))
+	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		actual, err := calibrateActualSNR(ch, 0, mode, snrs[i], rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ctrlSCs, err := selectCtrlSCsForBudget(ch, 0, actual, mode, nSym, 12, icos.DefaultBitsPerInterval, rng)
 		if err != nil {
@@ -332,6 +376,9 @@ func ControlAccuracy(cfg AblationConfig) (*Result, error) {
 		}
 		okC, okD := 0, 0
 		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			r, err := runCoSTrial(ch, 0, actual, cosTrialConfig{
 				mode: mode, psduLen: 1024, silences: 12,
 				k: icos.DefaultBitsPerInterval, ctrlSCs: ctrlSCs,
@@ -347,10 +394,26 @@ func ControlAccuracy(cfg AblationConfig) (*Result, error) {
 				okD++
 			}
 		}
+		pts[i] = point{ctrl: float64(okC) / float64(packets), data: float64(okD) / float64(packets)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "accuracy",
+		Title:  "Control message delivery accuracy vs measured SNR",
+		XLabel: "measured SNR (dB)",
+		YLabel: "delivery rate",
+	}
+	s := Series{Name: "ControlDelivery"}
+	d := Series{Name: "DataPRR"}
+	for i, snr := range snrs {
 		s.X = append(s.X, snr)
-		s.Y = append(s.Y, float64(okC)/float64(packets))
+		s.Y = append(s.Y, pts[i].ctrl)
 		d.X = append(d.X, snr)
-		d.Y = append(d.Y, float64(okD)/float64(packets))
+		d.Y = append(d.Y, pts[i].data)
 	}
 	res.Add(s)
 	res.Add(d)
@@ -359,10 +422,10 @@ func ControlAccuracy(cfg AblationConfig) (*Result, error) {
 
 // AblationQuantization measures the PRR cost of fixed-point LLRs in the
 // CoS pipeline: packets with a realistic silence load decoded with float,
-// 5-bit, 4-bit and 3-bit decoder inputs.
-func AblationQuantization(cfg AblationConfig) (*Result, error) {
+// 5-bit, 4-bit and 3-bit decoder inputs. One pool task per SNR point, the
+// widths swept inside the task (they share the point's calibration).
+func AblationQuantization(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(24)
 	if err != nil {
 		return nil, err
@@ -374,34 +437,25 @@ func AblationQuantization(cfg AblationConfig) (*Result, error) {
 	packets := scaled(cfg.Packets, cfg.Scale)
 	snrs := []float64{13, 14, 15, 16}
 	widths := []int{0, 5, 4, 3} // 0 = float
-	nSym := mode.SymbolsForPSDU(1024)
 
-	res := &Result{
-		ID:     "ablation-quantization",
-		Title:  "Fixed-point LLR width vs PRR with CoS active (24 Mb/s)",
-		XLabel: "measured SNR (dB)",
-		YLabel: "packet reception rate",
-	}
-	series := make([]Series, len(widths))
-	for i, w := range widths {
-		series[i].Name = "float"
-		if w != 0 {
-			series[i].Name = strconv.Itoa(w) + "-bit"
-		}
-	}
-	// SNR outer, widths inner. The genie mask makes detection (and thus
-	// subcarrier selection) irrelevant here, so the paper's fixed mid-band
-	// control set keeps every cell comparable.
+	// The genie mask makes detection (and thus subcarrier selection)
+	// irrelevant here, so the paper's fixed mid-band control set keeps
+	// every cell comparable.
 	ctrlSCs := fig10CtrlSCs
-	_ = nSym
-	for _, snr := range snrs {
-		actual, err := calibrateActualSNR(ch, 0, mode, snr, rng)
+
+	prrs := make([][]float64, len(snrs))
+	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		actual, err := calibrateActualSNR(ch, 0, mode, snrs[i], rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i, w := range widths {
+		row := make([]float64, len(widths))
+		for wi, w := range widths {
 			ok := 0
 			for p := 0; p < packets; p++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				r, err := runCoSTrial(ch, 0, actual, cosTrialConfig{
 					mode: mode, psduLen: 1024, silences: 12,
 					k: icos.DefaultBitsPerInterval, ctrlSCs: ctrlSCs,
@@ -416,11 +470,31 @@ func AblationQuantization(cfg AblationConfig) (*Result, error) {
 					ok++
 				}
 			}
-			series[i].X = append(series[i].X, snr)
-			series[i].Y = append(series[i].Y, float64(ok)/float64(packets))
+			row[wi] = float64(ok) / float64(packets)
 		}
+		prrs[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, s := range series {
+
+	res := &Result{
+		ID:     "ablation-quantization",
+		Title:  "Fixed-point LLR width vs PRR with CoS active (24 Mb/s)",
+		XLabel: "measured SNR (dB)",
+		YLabel: "packet reception rate",
+	}
+	for wi, w := range widths {
+		name := "float"
+		if w != 0 {
+			name = strconv.Itoa(w) + "-bit"
+		}
+		s := Series{Name: name}
+		for si, snr := range snrs {
+			s.X = append(s.X, snr)
+			s.Y = append(s.Y, prrs[si][wi])
+		}
 		res.Add(s)
 	}
 	res.Note("erasures survive quantization exactly (zero metric in any width); genie mask isolates LLR width from detection noise")

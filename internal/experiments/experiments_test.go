@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -28,7 +29,7 @@ func seriesNames(r *Result) []string {
 }
 
 func TestFig2ShapeActualAboveMinRequired(t *testing.T) {
-	res, err := Fig2SNRGap(Fig2Config{Variants: 2, Step: 2})
+	res, err := Fig2SNRGap(context.Background(), Fig2Config{Variants: 2, Step: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFig2ShapeActualAboveMinRequired(t *testing.T) {
 }
 
 func TestFig3ShapeBERDecreasesWithSNR(t *testing.T) {
-	res, err := Fig3DecoderBER(Fig3Config{Scale: 0.25, Step: 1.3})
+	res, err := Fig3DecoderBER(context.Background(), Fig3Config{Scale: 0.25, Step: 1.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestFig3ShapeBERDecreasesWithSNR(t *testing.T) {
 }
 
 func TestFig5ShapeFrequencyDiversity(t *testing.T) {
-	res, err := Fig5EVM(Fig5Config{Scale: 0.3})
+	res, err := Fig5EVM(context.Background(), Fig5Config{Scale: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestFig5ShapeFrequencyDiversity(t *testing.T) {
 }
 
 func TestFig6ShapePeriodicErrors(t *testing.T) {
-	res, err := Fig6ErrorPattern(Fig6Config{Scale: 0.15})
+	res, err := Fig6ErrorPattern(context.Background(), Fig6Config{Scale: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestFig6ShapePeriodicErrors(t *testing.T) {
 }
 
 func TestFig7ShapeTemporalStability(t *testing.T) {
-	res, err := Fig7Temporal(Fig7Config{Scale: 0.15, Draws: 20})
+	res, err := Fig7Temporal(context.Background(), Fig7Config{Scale: 0.15, Draws: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestFig7ShapeTemporalStability(t *testing.T) {
 }
 
 func TestFig10aShapeSilencesDiscernible(t *testing.T) {
-	res, err := Fig10aMagnitudes(Fig10aConfig{})
+	res, err := Fig10aMagnitudes(context.Background(), Fig10aConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestFig10aShapeSilencesDiscernible(t *testing.T) {
 }
 
 func TestFig10bShapeThresholdTradeoff(t *testing.T) {
-	res, err := Fig10bThreshold(Fig10bConfig{Scale: tinyScale, Points: 9})
+	res, err := Fig10bThreshold(context.Background(), Fig10bConfig{Scale: tinyScale, Points: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestFig10bShapeThresholdTradeoff(t *testing.T) {
 }
 
 func TestFig10cShapeAccuracy(t *testing.T) {
-	res, err := Fig10cAccuracy(Fig10cConfig{Scale: tinyScale, SNRs: []float64{4, 10, 16}})
+	res, err := Fig10cAccuracy(context.Background(), Fig10cConfig{Scale: tinyScale, SNRs: []float64{4, 10, 16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestFig10cShapeAccuracy(t *testing.T) {
 }
 
 func TestFig10dShapeInterference(t *testing.T) {
-	res, err := Fig10dInterference(Fig10cConfig{Scale: tinyScale, SNRs: []float64{8, 14, 20}})
+	res, err := Fig10dInterference(context.Background(), Fig10cConfig{Scale: tinyScale, SNRs: []float64{8, 14, 20}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestFig10dShapeInterference(t *testing.T) {
 }
 
 func TestAblationEVDShape(t *testing.T) {
-	res, err := AblationEVD(AblationConfig{Scale: 0.2})
+	res, err := AblationEVD(context.Background(), AblationConfig{Scale: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestAblationEVDShape(t *testing.T) {
 }
 
 func TestAblationPlacementShape(t *testing.T) {
-	res, err := AblationPlacement(AblationConfig{Scale: 0.2})
+	res, err := AblationPlacement(context.Background(), AblationConfig{Scale: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestAblationPlacementShape(t *testing.T) {
 }
 
 func TestControlAccuracyShape(t *testing.T) {
-	res, err := ControlAccuracy(AblationConfig{Scale: 0.15})
+	res, err := ControlAccuracy(context.Background(), AblationConfig{Scale: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestRegistryRunsEverythingTiny(t *testing.T) {
 		if id == "fig9" {
 			continue // covered by its own test below; too slow here
 		}
-		res, err := Run(id, 0.05)
+		res, err := Run(context.Background(), id, RunOptions{Scale: 0.05})
 		if err != nil {
 			t.Errorf("%s: %v", id, err)
 			continue
@@ -334,7 +335,7 @@ func TestRegistryRunsEverythingTiny(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := Run("nope", 1); err == nil {
+	if _, err := Run(context.Background(), "nope", RunOptions{}); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
@@ -343,7 +344,7 @@ func TestFig9TinyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig9 is slow")
 	}
-	res, err := Fig9Capacity(Fig9Config{PacketsPerTrial: 30, PointsPerMode: 2, TargetPRR: 0.96})
+	res, err := Fig9Capacity(context.Background(), Fig9Config{PacketsPerTrial: 30, PointsPerMode: 2, TargetPRR: 0.96})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +368,7 @@ func TestFig9TinyShape(t *testing.T) {
 }
 
 func TestAblationQuantizationShape(t *testing.T) {
-	res, err := AblationQuantization(AblationConfig{Scale: 0.15})
+	res, err := AblationQuantization(context.Background(), AblationConfig{Scale: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +390,7 @@ func TestAblationQuantizationShape(t *testing.T) {
 }
 
 func TestAblationThresholdShape(t *testing.T) {
-	res, err := AblationThreshold(AblationConfig{Scale: 0.15})
+	res, err := AblationThreshold(context.Background(), AblationConfig{Scale: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -9,6 +10,7 @@ import (
 	"cos/internal/dsp"
 	"cos/internal/ofdm"
 	"cos/internal/phy"
+	"cos/internal/pool"
 )
 
 // fig10CtrlSCs is the contiguous control set of the paper's Fig. 10(a)
@@ -35,8 +37,12 @@ func (c *Fig10aConfig) setDefaults() {
 // Fig10aMagnitudes reproduces Fig. 10(a): the relative FFT magnitudes of
 // the 52 occupied subcarriers of one received OFDM symbol in which control
 // subcarriers 10, 11 and 17 (1-based; 9, 10 and 16 here) carry silence
-// symbols. The silent bins are clearly discernible.
-func Fig10aMagnitudes(cfg Fig10aConfig) (*Result, error) {
+// symbols. The silent bins are clearly discernible. A single packet, so no
+// task decomposition — the context is only checked on entry.
+func Fig10aMagnitudes(ctx context.Context, cfg Fig10aConfig) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg.setDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(24)
@@ -122,6 +128,8 @@ type Fig10bConfig struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig10bConfig) setDefaults() {
@@ -149,9 +157,11 @@ func (c *Fig10bConfig) setDefaults() {
 // threshold reads faded data symbols as silences (false positives).
 // The x axis is the threshold in dB relative to the estimated noise floor
 // (the paper's absolute dBm axis shifted by its noise floor).
-func Fig10bThreshold(cfg Fig10bConfig) (*Result, error) {
+//
+// The shared calibration and noise-floor probe run serially as task 0 of
+// the seed schedule; the threshold points are pool tasks 1..Points.
+func Fig10bThreshold(ctx context.Context, cfg Fig10bConfig) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(12)
 	if err != nil {
 		return nil, err
@@ -160,32 +170,39 @@ func Fig10bThreshold(cfg Fig10bConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	actual, err := calibrateActualSNR(ch, 0, mode, cfg.MeasuredSNR, rng)
+	// Serial prelude on the index-0 task RNG: every threshold point shares
+	// this operating point, so it cannot be a pool task.
+	preludeRNG := pool.TaskRNG(cfg.Seed, 0)
+	actual, err := calibrateActualSNR(ch, 0, mode, cfg.MeasuredSNR, preludeRNG)
 	if err != nil {
 		return nil, err
 	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 
 	// Reference noise floor for the x axis.
-	pr, err := probe(ch, 0, mode, 256, actual, rng)
+	pr, err := probe(ch, 0, mode, 256, actual, preludeRNG)
 	if err != nil {
 		return nil, err
 	}
 	noiseFloor := pr.fe.NoiseVar
 
-	res := &Result{
-		ID:     "fig10b",
-		Title:  "Detection accuracy vs energy-detection threshold (measured SNR 9.2 dB)",
-		XLabel: "threshold (dB above noise floor)",
-		YLabel: "probability",
+	type point struct {
+		relDB  float64
+		fp, fn float64
 	}
-	fp := Series{Name: "FalsePositive"}
-	fn := Series{Name: "FalseNegative"}
-	for i := 0; i < cfg.Points; i++ {
-		relDB := -15 + 40*float64(i)/float64(cfg.Points-1)
+	pts := make([]point, cfg.Points)
+	err = pool.ForEach(ctx, cfg.Workers, cfg.Points+1, cfg.Seed, func(i int, rng *rand.Rand) error {
+		if i == 0 {
+			return nil // index 0 is the serial prelude above
+		}
+		pi := i - 1
+		relDB := -15 + 40*float64(pi)/float64(cfg.Points-1)
 		th := noiseFloor * dsp.Linear(relDB)
 		var stats icos.DetectionStats
 		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			r, err := runCoSTrial(ch, 0, actual, cosTrialConfig{
 				mode:     mode,
 				psduLen:  1024,
@@ -195,14 +212,30 @@ func Fig10bThreshold(cfg Fig10bConfig) (*Result, error) {
 				detector: icos.Detector{FixedThreshold: th},
 			}, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			stats.Add(r.detection)
 		}
-		fp.X = append(fp.X, relDB)
-		fp.Y = append(fp.Y, stats.FalsePositiveRate())
-		fn.X = append(fn.X, relDB)
-		fn.Y = append(fn.Y, stats.FalseNegativeRate())
+		pts[pi] = point{relDB: relDB, fp: stats.FalsePositiveRate(), fn: stats.FalseNegativeRate()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "fig10b",
+		Title:  "Detection accuracy vs energy-detection threshold (measured SNR 9.2 dB)",
+		XLabel: "threshold (dB above noise floor)",
+		YLabel: "probability",
+	}
+	fp := Series{Name: "FalsePositive"}
+	fn := Series{Name: "FalseNegative"}
+	for _, pt := range pts {
+		fp.X = append(fp.X, pt.relDB)
+		fp.Y = append(fp.Y, pt.fp)
+		fn.X = append(fn.X, pt.relDB)
+		fn.Y = append(fn.Y, pt.fn)
 	}
 	res.Add(fp)
 	res.Add(fn)
@@ -221,6 +254,8 @@ type Fig10cConfig struct {
 	Seed int64
 	// Interference enables the pulse interferer (Fig. 10(d)).
 	Interference bool
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig10cConfig) setDefaults() {
@@ -240,9 +275,10 @@ func (c *Fig10cConfig) setDefaults() {
 
 // accuracySweep runs the detection-accuracy measurement behind Figs. 10(c)
 // and 10(d): false positive and negative probabilities of the adaptive
-// detector across channel SNRs, optionally under pulse interference.
-func accuracySweep(cfg Fig10cConfig, interfere bool) (fp, fn Series, err error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// detector across channel SNRs, optionally under pulse interference. Each
+// SNR operating point is one pool task (it calibrates, then accumulates its
+// own detection statistics on a private RNG).
+func accuracySweep(ctx context.Context, cfg Fig10cConfig, interfere bool) (fp, fn Series, err error) {
 	mode, err := phy.ModeByRate(12)
 	if err != nil {
 		return fp, fn, err
@@ -254,10 +290,12 @@ func accuracySweep(cfg Fig10cConfig, interfere bool) (fp, fn Series, err error) 
 	packets := scaled(cfg.Packets, cfg.Scale)
 	intf := channel.PulseInterferer{Power: 40, BurstLen: 160, StartProb: 0.004}
 
-	for _, snr := range cfg.SNRs {
-		actual, err := calibrateActualSNR(ch, 0, mode, snr, rng)
+	type point struct{ fp, fn float64 }
+	pts := make([]point, len(cfg.SNRs))
+	err = pool.ForEach(ctx, cfg.Workers, len(cfg.SNRs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		actual, err := calibrateActualSNR(ch, 0, mode, cfg.SNRs[i], rng)
 		if err != nil {
-			return fp, fn, err
+			return err
 		}
 		trial := cosTrialConfig{
 			mode:     mode,
@@ -272,16 +310,26 @@ func accuracySweep(cfg Fig10cConfig, interfere bool) (fp, fn Series, err error) 
 		}
 		var stats icos.DetectionStats
 		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			r, err := runCoSTrial(ch, 0, actual, trial, rng)
 			if err != nil {
-				return fp, fn, err
+				return err
 			}
 			stats.Add(r.detection)
 		}
+		pts[i] = point{fp: stats.FalsePositiveRate(), fn: stats.FalseNegativeRate()}
+		return nil
+	})
+	if err != nil {
+		return fp, fn, err
+	}
+	for i, snr := range cfg.SNRs {
 		fp.X = append(fp.X, snr)
-		fp.Y = append(fp.Y, stats.FalsePositiveRate())
+		fp.Y = append(fp.Y, pts[i].fp)
 		fn.X = append(fn.X, snr)
-		fn.Y = append(fn.Y, stats.FalseNegativeRate())
+		fn.Y = append(fn.Y, pts[i].fn)
 	}
 	return fp, fn, nil
 }
@@ -290,9 +338,9 @@ func accuracySweep(cfg Fig10cConfig, interfere bool) (fp, fn Series, err error) 
 // detector across channel SNRs; the false-negative probability stays below
 // ~1% everywhere, while false positives rise only at very low SNR where
 // deep fades approach the noise floor.
-func Fig10cAccuracy(cfg Fig10cConfig) (*Result, error) {
+func Fig10cAccuracy(ctx context.Context, cfg Fig10cConfig) (*Result, error) {
 	cfg.setDefaults()
-	fp, fn, err := accuracySweep(cfg, false)
+	fp, fn, err := accuracySweep(ctx, cfg, false)
 	if err != nil {
 		return nil, err
 	}
@@ -311,14 +359,14 @@ func Fig10cAccuracy(cfg Fig10cConfig) (*Result, error) {
 // Fig10dInterference reproduces Fig. 10(d): the false-negative probability
 // with and without strong pulse interference. Interference landing on a
 // silent bin lifts it above threshold and the silence is missed.
-func Fig10dInterference(cfg Fig10cConfig) (*Result, error) {
+func Fig10dInterference(ctx context.Context, cfg Fig10cConfig) (*Result, error) {
 	cfg.setDefaults()
-	_, fnClean, err := accuracySweep(cfg, false)
+	_, fnClean, err := accuracySweep(ctx, cfg, false)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Seed++ // independent noise for the interference arm
-	_, fnDirty, err := accuracySweep(cfg, true)
+	_, fnDirty, err := accuracySweep(ctx, cfg, true)
 	if err != nil {
 		return nil, err
 	}

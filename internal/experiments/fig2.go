@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"cos/internal/channel"
 	"cos/internal/phy"
+	"cos/internal/pool"
 )
 
 // Fig2Config parameterizes the SNR-gap measurement.
@@ -20,6 +22,8 @@ type Fig2Config struct {
 	Variants int
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig2Config) setDefaults() {
@@ -43,38 +47,57 @@ func (c *Fig2Config) setDefaults() {
 // the stair-case rate table (discrete rates under a continuous SNR) and the
 // NIC's frequency-selectivity-blind SNR estimate sitting below the true
 // mean SNR.
-func Fig2SNRGap(cfg Fig2Config) (*Result, error) {
+//
+// Every (variant, SNR) probe is an independent point-task; the sweep grid
+// runs on the worker pool and reassembles in deterministic order.
+func Fig2SNRGap(ctx context.Context, cfg Fig2Config) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	probeMode, err := phy.ModeByRate(6)
 	if err != nil {
 		return nil, err
 	}
+	steps := 0
+	for snr := cfg.MinSNR; snr <= cfg.MaxSNR+1e-9; snr += cfg.Step {
+		steps++
+	}
 
-	type point struct{ measured, minReq, actual float64 }
-	var pts []point
-	for v := 0; v < cfg.Variants; v++ {
+	type point struct {
+		ok                       bool
+		measured, minReq, actual float64
+	}
+	pts := make([]point, cfg.Variants*steps)
+	err = pool.ForEach(ctx, cfg.Workers, len(pts), cfg.Seed, func(i int, rng *rand.Rand) error {
+		v := i / steps
+		snr := cfg.MinSNR + float64(i%steps)*cfg.Step
 		ch, err := channel.PositionA.NewVariant(false, int64(v+1))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for snr := cfg.MinSNR; snr <= cfg.MaxSNR+1e-9; snr += cfg.Step {
-			pr, err := probe(ch, 0, probeMode, 256, snr, rng)
-			if err != nil {
-				return nil, err
-			}
-			measured, err := pr.fe.MeasuredSNRdB()
-			if err != nil {
-				return nil, err
-			}
-			if measured < cfg.MinSNR || measured > cfg.MaxSNR {
-				continue
-			}
-			mode := phy.SelectMode(measured)
-			pts = append(pts, point{measured: measured, minReq: mode.MinSNRdB, actual: pr.actualSNR})
+		pr, err := probe(ch, 0, probeMode, 256, snr, rng)
+		if err != nil {
+			return err
+		}
+		measured, err := pr.fe.MeasuredSNRdB()
+		if err != nil {
+			return err
+		}
+		if measured < cfg.MinSNR || measured > cfg.MaxSNR {
+			return nil // out-of-range estimate: leave the slot empty
+		}
+		mode := phy.SelectMode(measured)
+		pts[i] = point{ok: true, measured: measured, minReq: mode.MinSNRdB, actual: pr.actualSNR}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := pts[:0]
+	for _, p := range pts {
+		if p.ok {
+			kept = append(kept, p)
 		}
 	}
-	sort.Slice(pts, func(a, b int) bool { return pts[a].measured < pts[b].measured })
+	sort.SliceStable(kept, func(a, b int) bool { return kept[a].measured < kept[b].measured })
 
 	res := &Result{
 		ID:     "fig2",
@@ -84,7 +107,7 @@ func Fig2SNRGap(cfg Fig2Config) (*Result, error) {
 	}
 	minReq := Series{Name: "MinRequiredSNR"}
 	actual := Series{Name: "ActualSNR"}
-	for _, p := range pts {
+	for _, p := range kept {
 		minReq.X = append(minReq.X, p.measured)
 		minReq.Y = append(minReq.Y, p.minReq)
 		actual.X = append(actual.X, p.measured)

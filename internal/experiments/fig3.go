@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"cos/internal/channel"
 	"cos/internal/phy"
+	"cos/internal/pool"
 )
 
 // Fig3Config parameterizes the decoder-input BER measurement.
@@ -20,6 +22,8 @@ type Fig3Config struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig3Config) setDefaults() {
@@ -40,14 +44,50 @@ func (c *Fig3Config) setDefaults() {
 	}
 }
 
+// fig3BERAt measures the decoder-input BER at one target measured SNR; it
+// is the body of one point-task and draws only from its private rng.
+func fig3BERAt(ctx context.Context, ch *channel.TDL, mode phy.Mode, targetMeasured float64, packets int, rng *rand.Rand) (float64, error) {
+	actual, err := calibrateActualSNR(ch, 0, mode, targetMeasured, rng)
+	if err != nil {
+		return 0, err
+	}
+	var errsTotal, bitsTotal int
+	for p := 0; p < packets; p++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		pr, err := probe(ch, 0, mode, 1024, actual, rng)
+		if err != nil {
+			return 0, err
+		}
+		dec, err := pr.fe.Decode(phy.DecodeConfig{Mode: mode, PSDULen: 1024})
+		if err != nil {
+			return 0, err
+		}
+		diag, err := phy.Diagnose(pr.tx, pr.fe, nil, dec.HardCodedBits)
+		if err != nil {
+			return 0, err
+		}
+		errsTotal += diag.DecoderInputBitErrors
+		bitsTotal += diag.DecoderInputBits
+	}
+	if bitsTotal == 0 {
+		return 0, nil
+	}
+	return float64(errsTotal) / float64(bitsTotal), nil
+}
+
 // Fig3DecoderBER reproduces Fig. 3: decoder-input BER versus measured SNR
 // at 24 Mb/s. "Actual BER" is the hard-decision error rate on the coded
 // bits entering the Viterbi decoder; "Redundant BER" is the headroom —
 // the BER the decoder could still tolerate, estimated as the decoder-input
 // BER at the mode's minimum required SNR (12 dB) minus the actual BER.
-func Fig3DecoderBER(cfg Fig3Config) (*Result, error) {
+//
+// The sweep decomposes into one point-task per SNR point plus one for the
+// 12 dB tolerance anchor; tasks run on the worker pool with private RNGs,
+// so parallel output is bit-identical to serial.
+func Fig3DecoderBER(ctx context.Context, cfg Fig3Config) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(24)
 	if err != nil {
 		return nil, err
@@ -58,39 +98,23 @@ func Fig3DecoderBER(cfg Fig3Config) (*Result, error) {
 	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 
-	berAt := func(targetMeasured float64) (float64, error) {
-		actual, err := calibrateActualSNR(ch, 0, mode, targetMeasured, rng)
-		if err != nil {
-			return 0, err
-		}
-		var errsTotal, bitsTotal int
-		for p := 0; p < packets; p++ {
-			pr, err := probe(ch, 0, mode, 1024, actual, rng)
-			if err != nil {
-				return 0, err
-			}
-			dec, err := pr.fe.Decode(phy.DecodeConfig{Mode: mode, PSDULen: 1024})
-			if err != nil {
-				return 0, err
-			}
-			diag, err := phy.Diagnose(pr.tx, pr.fe, nil, dec.HardCodedBits)
-			if err != nil {
-				return 0, err
-			}
-			errsTotal += diag.DecoderInputBitErrors
-			bitsTotal += diag.DecoderInputBits
-		}
-		if bitsTotal == 0 {
-			return 0, nil
-		}
-		return float64(errsTotal) / float64(bitsTotal), nil
+	snrs := []float64{cfg.MinSNR} // task 0: the decoder tolerance anchor
+	for snr := cfg.MinSNR; snr <= cfg.MaxSNR+1e-9; snr += cfg.Step {
+		snrs = append(snrs, snr)
 	}
-
-	// Decoder tolerance anchor: the BER at the minimum required SNR.
-	tolerable, err := berAt(cfg.MinSNR)
+	bers := make([]float64, len(snrs))
+	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		ber, err := fig3BERAt(ctx, ch, mode, snrs[i], packets, rng)
+		if err != nil {
+			return err
+		}
+		bers[i] = ber
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	tolerable := bers[0]
 
 	res := &Result{
 		ID:     "fig3",
@@ -100,11 +124,8 @@ func Fig3DecoderBER(cfg Fig3Config) (*Result, error) {
 	}
 	actualSer := Series{Name: "ActualBER"}
 	redundSer := Series{Name: "RedundantBER"}
-	for snr := cfg.MinSNR; snr <= cfg.MaxSNR+1e-9; snr += cfg.Step {
-		ber, err := berAt(snr)
-		if err != nil {
-			return nil, err
-		}
+	for i, snr := range snrs[1:] {
+		ber := bers[i+1]
 		red := tolerable - ber
 		if red < 0 {
 			red = 0

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"cos/internal/channel"
 	"cos/internal/ofdm"
 	"cos/internal/phy"
+	"cos/internal/pool"
 )
 
 // Fig5Config parameterizes the per-subcarrier EVM measurement.
@@ -18,6 +20,8 @@ type Fig5Config struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig5Config) setDefaults() {
@@ -38,15 +42,43 @@ func (c *Fig5Config) setDefaults() {
 // Fig5EVM reproduces Fig. 5: measured per-subcarrier EVM (percent) of the
 // 48 data subcarriers at the three receiver positions. Frequency-selective
 // fading makes different subcarriers — and different positions — exhibit
-// very different EVM.
-func Fig5EVM(cfg Fig5Config) (*Result, error) {
+// very different EVM. Each position is one point-task.
+func Fig5EVM(ctx context.Context, cfg Fig5Config) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(24)
 	if err != nil {
 		return nil, err
 	}
 	packets := scaled(cfg.Packets, cfg.Scale)
+	positions := channel.Positions()
+
+	accs := make([][ofdm.NumData]float64, len(positions))
+	err = pool.ForEach(ctx, cfg.Workers, len(positions), cfg.Seed, func(i int, rng *rand.Rand) error {
+		ch, err := positions[i].New(false)
+		if err != nil {
+			return err
+		}
+		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			pr, err := probe(ch, 0, mode, 1024, cfg.SNR, rng)
+			if err != nil {
+				return err
+			}
+			diag, err := phy.Diagnose(pr.tx, pr.fe, nil, nil)
+			if err != nil {
+				return err
+			}
+			for d := 0; d < ofdm.NumData; d++ {
+				accs[i][d] += diag.EVM[d]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		ID:     "fig5",
@@ -54,29 +86,11 @@ func Fig5EVM(cfg Fig5Config) (*Result, error) {
 		XLabel: "subcarrier index (1-48)",
 		YLabel: "EVM (%)",
 	}
-	for _, pos := range channel.Positions() {
-		ch, err := pos.New(false)
-		if err != nil {
-			return nil, err
-		}
-		var acc [ofdm.NumData]float64
-		for p := 0; p < packets; p++ {
-			pr, err := probe(ch, 0, mode, 1024, cfg.SNR, rng)
-			if err != nil {
-				return nil, err
-			}
-			diag, err := phy.Diagnose(pr.tx, pr.fe, nil, nil)
-			if err != nil {
-				return nil, err
-			}
-			for d := 0; d < ofdm.NumData; d++ {
-				acc[d] += diag.EVM[d]
-			}
-		}
+	for i, pos := range positions {
 		s := Series{Name: pos.String()}
 		for d := 0; d < ofdm.NumData; d++ {
 			s.X = append(s.X, float64(d+1))
-			s.Y = append(s.Y, 100*acc[d]/float64(packets))
+			s.Y = append(s.Y, 100*accs[i][d]/float64(packets))
 		}
 		res.Add(s)
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"cos/internal/channel"
 	"cos/internal/ofdm"
 	"cos/internal/phy"
+	"cos/internal/pool"
 )
 
 // Fig6Config parameterizes the symbol-error pattern measurement.
@@ -23,6 +25,8 @@ type Fig6Config struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig6Config) setDefaults() {
@@ -43,13 +47,25 @@ func (c *Fig6Config) setDefaults() {
 	}
 }
 
+// fig6Packet is one packet's error pattern, kept per task so the parallel
+// merge is an order-independent integer accumulation done serially after
+// the pool drains.
+type fig6Packet struct {
+	errorPositions []int
+	scErrors       [ofdm.NumData]int
+	scCounts       [ofdm.NumData]int
+}
+
 // Fig6ErrorPattern reproduces Fig. 6 at Position A (mobile): (a) the
 // frequency of symbol errors at each in-packet symbol position — revealing
 // the ~48-position periodicity induced by weak subcarriers — and (b) the
 // symbol error rate of each data subcarrier.
-func Fig6ErrorPattern(cfg Fig6Config) (*Result, error) {
+//
+// Each packet is an independent point-task: the mobile channel is a pure
+// function of the transmit time t = p * 2 ms, so packet p needs no state
+// from packet p-1.
+func Fig6ErrorPattern(ctx context.Context, cfg Fig6Config) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(24)
 	if err != nil {
 		return nil, err
@@ -60,28 +76,40 @@ func Fig6ErrorPattern(cfg Fig6Config) (*Result, error) {
 	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 
-	posErrors := make([]int, cfg.Positions)
-	var scErrors, scCounts [ofdm.NumData]int
-	t := 0.0
-	for p := 0; p < packets; p++ {
+	perPacket := make([]fig6Packet, packets)
+	err = pool.ForEach(ctx, cfg.Workers, packets, cfg.Seed, func(p int, rng *rand.Rand) error {
+		t := float64(p) * 2e-3 // back-to-back traffic at 2 ms spacing
 		pr, err := probe(ch, t, mode, 1024, cfg.SNR, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		diag, err := phy.Diagnose(pr.tx, pr.fe, nil, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, pos := range diag.ErrorPositions() {
+		perPacket[p].errorPositions = diag.ErrorPositions()
+		for d := 0; d < ofdm.NumData; d++ {
+			perPacket[p].scErrors[d] = diag.SubcarrierErrorCounts[d]
+			perPacket[p].scCounts[d] = diag.SymbolsPerSubcarrier[d]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	posErrors := make([]int, cfg.Positions)
+	var scErrors, scCounts [ofdm.NumData]int
+	for _, pkt := range perPacket {
+		for _, pos := range pkt.errorPositions {
 			if pos < cfg.Positions {
 				posErrors[pos]++
 			}
 		}
 		for d := 0; d < ofdm.NumData; d++ {
-			scErrors[d] += diag.SubcarrierErrorCounts[d]
-			scCounts[d] += diag.SymbolsPerSubcarrier[d]
+			scErrors[d] += pkt.scErrors[d]
+			scCounts[d] += pkt.scCounts[d]
 		}
-		t += 2e-3 // back-to-back traffic at 2 ms spacing
 	}
 
 	res := &Result{

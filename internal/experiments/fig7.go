@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 
@@ -9,6 +10,7 @@ import (
 	"cos/internal/modulation"
 	"cos/internal/ofdm"
 	"cos/internal/phy"
+	"cos/internal/pool"
 )
 
 // Fig7Config parameterizes the temporal-selectivity measurement.
@@ -29,6 +31,8 @@ type Fig7Config struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig7Config) setDefaults() {
@@ -55,13 +59,16 @@ func (c *Fig7Config) setDefaults() {
 // errorVectorSnapshot measures the per-subcarrier mean error-vector
 // magnitudes D(t) and EVM(t), averaged over avg known packets at time t to
 // suppress estimator noise (the channel is static within a snapshot).
-func errorVectorSnapshot(ch *channel.TDL, t float64, mode phy.Mode, snr float64, avg int, rng *rand.Rand) (d, evm []float64, err error) {
+func errorVectorSnapshot(ctx context.Context, ch *channel.TDL, t float64, mode phy.Mode, snr float64, avg int, rng *rand.Rand) (d, evm []float64, err error) {
 	if avg < 1 {
 		avg = 1
 	}
 	dAcc := make([]float64, ofdm.NumData)
 	evmAcc := make([]float64, ofdm.NumData)
 	for i := 0; i < avg; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		pr, err := probe(ch, t, mode, 1024, snr, rng)
 		if err != nil {
 			return nil, nil, err
@@ -86,9 +93,12 @@ func errorVectorSnapshot(ch *channel.TDL, t float64, mode phy.Mode, snr float64,
 // (a) per-subcarrier EVM snapshots separated by time gap tau, showing the
 // channel's frequency signature persists across tens of milliseconds, and
 // (b) the CDF of the normalized EVM change (Eq. (2)) for each tau.
-func Fig7Temporal(cfg Fig7Config) (*Result, error) {
+//
+// The task list has two kinds of points: snapshot tasks 0..len(taus) for
+// part (a) — task 0 is the tau=0 baseline — and one task per (tau, draw)
+// pair for part (b), each measuring an independent D(t), D(t+tau) pair.
+func Fig7Temporal(ctx context.Context, cfg Fig7Config) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	mode, err := phy.ModeByRate(24)
 	if err != nil {
 		return nil, err
@@ -98,6 +108,50 @@ func Fig7Temporal(cfg Fig7Config) (*Result, error) {
 		return nil, err
 	}
 	draws := scaled(cfg.Draws, cfg.Scale)
+	taus := cfg.TausMs
+
+	const t0 = 0.050
+	snapshots := make([][]float64, 1+len(taus)) // part (a) EVM vectors
+	nablas := make([][]float64, len(taus))      // part (b) samples per tau
+	for ti := range nablas {
+		nablas[ti] = make([]float64, draws)
+	}
+	n := 1 + len(taus) + len(taus)*draws
+	err = pool.ForEach(ctx, cfg.Workers, n, cfg.Seed, func(i int, rng *rand.Rand) error {
+		if i <= len(taus) { // snapshot task for part (a)
+			t := t0
+			if i > 0 {
+				t += taus[i-1] / 1000
+			}
+			_, evm, err := errorVectorSnapshot(ctx, ch, t, mode, cfg.SNR, cfg.Avg, rng)
+			if err != nil {
+				return err
+			}
+			snapshots[i] = evm
+			return nil
+		}
+		j := i - 1 - len(taus)
+		ti, di := j/draws, j%draws
+		tau := taus[ti]
+		t := 0.010 + float64(di)*0.0075
+		dT, _, err := errorVectorSnapshot(ctx, ch, t, mode, cfg.SNR, cfg.Avg, rng)
+		if err != nil {
+			return err
+		}
+		dTau, _, err := errorVectorSnapshot(ctx, ch, t+tau/1000, mode, cfg.SNR, cfg.Avg, rng)
+		if err != nil {
+			return err
+		}
+		nabla, err := modulation.NablaEVM(dT, dTau)
+		if err != nil {
+			return err
+		}
+		nablas[ti][di] = nabla
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		ID:     "fig7",
@@ -105,52 +159,20 @@ func Fig7Temporal(cfg Fig7Config) (*Result, error) {
 		XLabel: "subcarrier (a) / nabla-EVM (b)",
 		YLabel: "EVM % (a) / CDF (b)",
 	}
-
-	// (a) EVM snapshots at t0 and t0+tau for each tau.
-	const t0 = 0.050
-	_, evm0, err := errorVectorSnapshot(ch, t0, mode, cfg.SNR, cfg.Avg, rng)
-	if err != nil {
-		return nil, err
+	names := []string{"EVM tau=0ms"}
+	for _, tau := range taus {
+		names = append(names, "EVM tau="+fmtMs(tau))
 	}
-	base := Series{Name: "EVM tau=0ms"}
-	for d := 0; d < ofdm.NumData; d++ {
-		base.X = append(base.X, float64(d+1))
-		base.Y = append(base.Y, 100*evm0[d])
-	}
-	res.Add(base)
-	for _, tau := range cfg.TausMs {
-		_, evmTau, err := errorVectorSnapshot(ch, t0+tau/1000, mode, cfg.SNR, cfg.Avg, rng)
-		if err != nil {
-			return nil, err
-		}
-		s := Series{Name: "EVM tau=" + fmtMs(tau)}
+	for i, evm := range snapshots {
+		s := Series{Name: names[i]}
 		for d := 0; d < ofdm.NumData; d++ {
 			s.X = append(s.X, float64(d+1))
-			s.Y = append(s.Y, 100*evmTau[d])
+			s.Y = append(s.Y, 100*evm[d])
 		}
 		res.Add(s)
 	}
-
-	// (b) CDF of the normalized EVM change per tau.
-	for _, tau := range cfg.TausMs {
-		var samples []float64
-		for i := 0; i < draws; i++ {
-			t := 0.010 + float64(i)*0.0075
-			dT, _, err := errorVectorSnapshot(ch, t, mode, cfg.SNR, cfg.Avg, rng)
-			if err != nil {
-				return nil, err
-			}
-			dTau, _, err := errorVectorSnapshot(ch, t+tau/1000, mode, cfg.SNR, cfg.Avg, rng)
-			if err != nil {
-				return nil, err
-			}
-			nabla, err := modulation.NablaEVM(dT, dTau)
-			if err != nil {
-				return nil, err
-			}
-			samples = append(samples, nabla)
-		}
-		cdf := dsp.EmpiricalCDF(samples)
+	for ti, tau := range taus {
+		cdf := dsp.EmpiricalCDF(nablas[ti])
 		s := Series{Name: "CDF tau=" + fmtMs(tau)}
 		for _, p := range cdf {
 			s.X = append(s.X, p.Value)

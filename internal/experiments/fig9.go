@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"cos/internal/channel"
 	icos "cos/internal/cos"
 	"cos/internal/phy"
+	"cos/internal/pool"
 )
 
 // Fig9Config parameterizes the free-control-message capacity measurement.
@@ -24,6 +26,8 @@ type Fig9Config struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the point-task pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig9Config) setDefaults() {
@@ -57,9 +61,12 @@ const maxSilenceBudget = 160
 // mode's band Rm rises with SNR (more spare code redundancy); at each rate
 // switch the budget resets; lower code rates and lower-order modulations
 // support higher Rm.
-func Fig9Capacity(cfg Fig9Config) (*Result, error) {
+//
+// Every (mode, SNR point) pair is an independent point-task — each runs its
+// own calibration and PRR binary search on a private RNG — so the sweep
+// parallelizes across the full mode grid.
+func Fig9Capacity(ctx context.Context, cfg Fig9Config) (*Result, error) {
 	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	ch, err := channel.PositionB.NewVariant(false, 3)
 	if err != nil {
 		return nil, err
@@ -67,14 +74,14 @@ func Fig9Capacity(cfg Fig9Config) (*Result, error) {
 	packets := scaled(cfg.PacketsPerTrial, cfg.Scale)
 	modes := phy.EvaluatedModes()
 
-	res := &Result{
-		ID:     "fig9",
-		Title:  "Maximum silence symbols per second (Rm) vs measured SNR",
-		XLabel: "measured SNR (dB)",
-		YLabel: "Rm (silence symbols/s)",
+	type point struct {
+		target float64
+		rm     float64
 	}
-
-	for mi, mode := range modes {
+	pts := make([]point, len(modes)*cfg.PointsPerMode)
+	err = pool.ForEach(ctx, cfg.Workers, len(pts), cfg.Seed, func(i int, rng *rand.Rand) error {
+		mi, p := i/cfg.PointsPerMode, i%cfg.PointsPerMode
+		mode := modes[mi]
 		// The mode's measured-SNR band: its threshold up to the next
 		// mode's (or +3 dB for the fastest).
 		lo := mode.MinSNRdB + 0.3
@@ -82,22 +89,37 @@ func Fig9Capacity(cfg Fig9Config) (*Result, error) {
 		if mi+1 < len(modes) {
 			hi = modes[mi+1].MinSNRdB - 0.3
 		}
+		target := lo
+		if cfg.PointsPerMode > 1 {
+			target = lo + (hi-lo)*float64(p)/float64(cfg.PointsPerMode-1)
+		}
+		actual, err := calibrateActualSNR(ch, 0, mode, target, rng)
+		if err != nil {
+			return err
+		}
+		budget, err := maxBudgetAtPRR(ctx, ch, actual, mode, cfg, packets, rng)
+		if err != nil {
+			return err
+		}
+		pts[i] = point{target: target, rm: icos.SilencesPerSecond(budget, mode, cfg.PSDULen)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "fig9",
+		Title:  "Maximum silence symbols per second (Rm) vs measured SNR",
+		XLabel: "measured SNR (dB)",
+		YLabel: "Rm (silence symbols/s)",
+	}
+	for mi, mode := range modes {
 		s := Series{Name: modeLabel(mode)}
 		for p := 0; p < cfg.PointsPerMode; p++ {
-			target := lo
-			if cfg.PointsPerMode > 1 {
-				target = lo + (hi-lo)*float64(p)/float64(cfg.PointsPerMode-1)
-			}
-			actual, err := calibrateActualSNR(ch, 0, mode, target, rng)
-			if err != nil {
-				return nil, err
-			}
-			budget, err := maxBudgetAtPRR(ch, actual, mode, cfg, packets, rng)
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, target)
-			s.Y = append(s.Y, icos.SilencesPerSecond(budget, mode, cfg.PSDULen))
+			pt := pts[mi*cfg.PointsPerMode+p]
+			s.X = append(s.X, pt.target)
+			s.Y = append(s.Y, pt.rm)
 		}
 		res.Add(s)
 	}
@@ -107,7 +129,7 @@ func Fig9Capacity(cfg Fig9Config) (*Result, error) {
 
 // maxBudgetAtPRR binary-searches the largest silence budget whose PRR meets
 // the target.
-func maxBudgetAtPRR(ch *channel.TDL, actualSNR float64, mode phy.Mode, cfg Fig9Config, packets int, rng *rand.Rand) (int, error) {
+func maxBudgetAtPRR(ctx context.Context, ch *channel.TDL, actualSNR float64, mode phy.Mode, cfg Fig9Config, packets int, rng *rand.Rand) (int, error) {
 	nSym := mode.SymbolsForPSDU(cfg.PSDULen)
 	prrOK := func(budget int) (bool, error) {
 		if budget == 0 {
@@ -128,6 +150,9 @@ func maxBudgetAtPRR(ch *channel.TDL, actualSNR float64, mode phy.Mode, cfg Fig9C
 			detector: icos.Detector{Scheme: mode.Modulation},
 		}
 		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			r, err := runCoSTrial(ch, 0, actualSNR, trial, rng)
 			if err != nil {
 				// Oversized messages for the capacity mean the budget does
@@ -146,6 +171,9 @@ func maxBudgetAtPRR(ch *channel.TDL, actualSNR float64, mode phy.Mode, cfg Fig9C
 
 	lo, hi := 0, maxSilenceBudget // lo always feasible, hi presumed infeasible
 	for lo < hi-1 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		mid := (lo + hi) / 2
 		ok, err := prrOK(mid)
 		if err != nil {

@@ -1,77 +1,116 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
 
-// runner produces a figure at a given scale (1 = publication quality).
-type runner func(scale float64) (*Result, error)
+// RunOptions configures one experiment run. The zero value selects the
+// publication-quality scale, one worker per CPU, and the canonical seed.
+type RunOptions struct {
+	// Scale shrinks sample sizes (1 = publication quality; smaller values
+	// shrink packet counts and sweep resolutions proportionally). Zero or
+	// negative selects 1.
+	Scale float64
+	// Workers bounds the goroutines the point-task pool uses; zero or
+	// negative selects runtime.GOMAXPROCS(0). Results are bit-identical
+	// for every worker count (per-task RNGs are derived as seed^taskIndex
+	// and reassembled in index order — see internal/pool).
+	Workers int
+	// Seed drives all randomness; zero selects 1.
+	Seed int64
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Runner produces one figure. Implementations must honor ctx (returning
+// ctx.Err() promptly mid-sweep) and must make their output depend only on
+// opts, never on opts.Workers or goroutine scheduling.
+type Runner interface {
+	Run(ctx context.Context, opts RunOptions) (*Result, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx context.Context, opts RunOptions) (*Result, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, opts RunOptions) (*Result, error) {
+	return f(ctx, opts)
+}
 
 // registry maps experiment IDs to their runners.
-var registry = map[string]runner{
-	"fig2": func(s float64) (*Result, error) {
-		cfg := Fig2Config{}
-		if s < 1 {
+var registry = map[string]Runner{
+	"fig2": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		cfg := Fig2Config{Seed: o.Seed, Workers: o.Workers}
+		if o.Scale < 1 {
 			cfg.Variants = 2
 			cfg.Step = 2
 		}
-		return Fig2SNRGap(cfg)
-	},
-	"fig3": func(s float64) (*Result, error) {
-		return Fig3DecoderBER(Fig3Config{Scale: s})
-	},
-	"fig5": func(s float64) (*Result, error) {
-		return Fig5EVM(Fig5Config{Scale: s})
-	},
-	"fig6": func(s float64) (*Result, error) {
-		return Fig6ErrorPattern(Fig6Config{Scale: s})
-	},
-	"fig7": func(s float64) (*Result, error) {
-		return Fig7Temporal(Fig7Config{Scale: s})
-	},
-	"fig9": func(s float64) (*Result, error) {
-		cfg := Fig9Config{Scale: s}
-		if s < 1 {
+		return Fig2SNRGap(ctx, cfg)
+	}),
+	"fig3": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return Fig3DecoderBER(ctx, Fig3Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"fig5": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return Fig5EVM(ctx, Fig5Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"fig6": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return Fig6ErrorPattern(ctx, Fig6Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"fig7": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return Fig7Temporal(ctx, Fig7Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"fig9": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		cfg := Fig9Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers}
+		if o.Scale < 1 {
 			cfg.PointsPerMode = 2
 		}
-		return Fig9Capacity(cfg)
-	},
-	"fig10a": func(s float64) (*Result, error) {
-		return Fig10aMagnitudes(Fig10aConfig{})
-	},
-	"fig10b": func(s float64) (*Result, error) {
-		cfg := Fig10bConfig{Scale: s}
-		if s < 1 {
+		return Fig9Capacity(ctx, cfg)
+	}),
+	"fig10a": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return Fig10aMagnitudes(ctx, Fig10aConfig{Seed: o.Seed})
+	}),
+	"fig10b": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		cfg := Fig10bConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers}
+		if o.Scale < 1 {
 			cfg.Points = 13
 		}
-		return Fig10bThreshold(cfg)
-	},
-	"fig10c": func(s float64) (*Result, error) {
-		return Fig10cAccuracy(Fig10cConfig{Scale: s})
-	},
-	"fig10d": func(s float64) (*Result, error) {
-		cfg := Fig10cConfig{Scale: s}
-		if s < 1 {
+		return Fig10bThreshold(ctx, cfg)
+	}),
+	"fig10c": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return Fig10cAccuracy(ctx, Fig10cConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"fig10d": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		cfg := Fig10cConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers}
+		if o.Scale < 1 {
 			cfg.SNRs = []float64{4, 8, 12, 16, 20}
 		}
-		return Fig10dInterference(cfg)
-	},
-	"ablation-evd": func(s float64) (*Result, error) {
-		return AblationEVD(AblationConfig{Scale: s})
-	},
-	"ablation-placement": func(s float64) (*Result, error) {
-		return AblationPlacement(AblationConfig{Scale: s})
-	},
-	"ablation-threshold": func(s float64) (*Result, error) {
-		return AblationThreshold(AblationConfig{Scale: s})
-	},
-	"ablation-quantization": func(s float64) (*Result, error) {
-		return AblationQuantization(AblationConfig{Scale: s})
-	},
-	"accuracy": func(s float64) (*Result, error) {
-		return ControlAccuracy(AblationConfig{Scale: s})
-	},
+		return Fig10dInterference(ctx, cfg)
+	}),
+	"ablation-evd": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return AblationEVD(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"ablation-placement": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return AblationPlacement(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"ablation-threshold": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return AblationThreshold(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"ablation-quantization": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return AblationQuantization(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
+	"accuracy": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
+		return ControlAccuracy(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+	}),
 }
 
 // IDs lists all experiment identifiers in sorted order.
@@ -84,12 +123,18 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the experiment with the given ID at the given scale
-// (1 = publication quality; smaller values shrink sample sizes).
-func Run(id string, scale float64) (*Result, error) {
+// Get returns the Runner registered under id.
+func Get(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// Run executes the experiment with the given ID under opts. It is the
+// context-aware entry point cmd/cos-figures and the benchmarks share.
+func Run(ctx context.Context, id string, opts RunOptions) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return r(scale)
+	return r.Run(ctx, opts)
 }

@@ -122,11 +122,16 @@ func (t *Writer) Write(e Event) error {
 // cos.WithObserver and every completed exchange is appended to the trace
 // with its on-link sequence number. Write errors are deferred to Err,
 // since observers cannot fail the exchange.
+//
+// The exchange is cloned before flattening: the observer contract says the
+// link may reuse the exchange (and its slices) after the callback returns,
+// and the flattened event aliases ControlSubcarriers.
 func (t *Writer) Observer() cos.Observer {
 	return func(ex *cos.Exchange) {
 		if t.obsErr != nil {
 			return
 		}
+		ex = ex.Clone()
 		if err := t.Write(FromExchange(ex.Seq, ex, ex.DataBytes)); err != nil {
 			t.obsErr = err
 		}

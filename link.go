@@ -93,6 +93,25 @@ type Exchange struct {
 	Time float64
 }
 
+// Clone returns a deep copy of the exchange: the slice fields (Data,
+// ControlSent, ControlReceived, ControlPayload, ControlSubcarriers) are
+// copied, so the clone stays valid after the observer callback returns and
+// the link reuses or drops the original. Observers that retain exchanges
+// (trace buffers, async sinks) must clone; synchronous consumers that only
+// read fields inside the callback need not.
+func (ex *Exchange) Clone() *Exchange {
+	if ex == nil {
+		return nil
+	}
+	cp := *ex
+	cp.Data = append([]byte(nil), ex.Data...)
+	cp.ControlSent = append([]byte(nil), ex.ControlSent...)
+	cp.ControlReceived = append([]byte(nil), ex.ControlReceived...)
+	cp.ControlPayload = append([]byte(nil), ex.ControlPayload...)
+	cp.ControlSubcarriers = append([]int(nil), ex.ControlSubcarriers...)
+	return &cp
+}
+
 // linkMetrics holds the link's metric handles, resolved once at
 // construction so the per-packet cost is a handful of atomic updates.
 // Links sharing a registry (the default) share the counters.
@@ -298,7 +317,7 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 		return nil, err
 	}
 	if l.cfg.disableCoS && len(control) > 0 {
-		return nil, fmt.Errorf("cos: control bits on a CoS-disabled link")
+		return nil, fmt.Errorf("cos: control bits on a CoS-disabled link: %w", ErrCoSDisabled)
 	}
 
 	// Sender side.
@@ -321,7 +340,7 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 			return nil, err
 		}
 		if len(control) > maxBits {
-			return nil, fmt.Errorf("cos: %d control bits exceed the current budget of %d", len(control), maxBits)
+			return nil, fmt.Errorf("cos: %d control bits exceed the current budget of %d: %w", len(control), maxBits, ErrBudgetExceeded)
 		}
 		if l.cfg.controlFraming {
 			framed, err := icos.FrameControl(control)
@@ -333,8 +352,8 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 				return nil, err
 			}
 		} else if len(control)%l.cfg.bitsPerInterval != 0 {
-			return nil, fmt.Errorf("cos: %d control bits is not a multiple of k=%d (or use WithControlFraming)",
-				len(control), l.cfg.bitsPerInterval)
+			return nil, fmt.Errorf("cos: %d control bits is not a multiple of k=%d (or use WithControlFraming): %w",
+				len(control), l.cfg.bitsPerInterval, ErrControlAlignment)
 		}
 		truthMask, err = icos.Embed(pkt, ctrlSCs, wire, l.cfg.bitsPerInterval)
 		if err != nil {

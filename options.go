@@ -64,7 +64,7 @@ type Option func(*config) error
 func WithPosition(p Position) Option {
 	return func(c *config) error {
 		if _, err := p.Config(false); err != nil {
-			return err
+			return &ConfigError{Option: "WithPosition", Reason: err.Error(), Err: err}
 		}
 		c.position = p
 		return nil
@@ -102,7 +102,7 @@ func WithSeed(seed int64) Option {
 func WithSNR(db float64) Option {
 	return func(c *config) error {
 		if db < -10 || db > 60 {
-			return fmt.Errorf("cos: SNR %v dB out of the supported [-10,60] range", db)
+			return &ConfigError{Option: "WithSNR", Reason: fmt.Sprintf("SNR %v dB out of the supported [-10,60] range", db)}
 		}
 		c.snrDB = db
 		return nil
@@ -122,7 +122,7 @@ func WithFixedRate(mbps int) Option {
 func WithBitsPerInterval(k int) Option {
 	return func(c *config) error {
 		if k < 1 || k > 16 {
-			return fmt.Errorf("cos: bits per interval %d out of range [1,16]", k)
+			return &ConfigError{Option: "WithBitsPerInterval", Reason: fmt.Sprintf("bits per interval %d out of range [1,16]", k)}
 		}
 		c.bitsPerInterval = k
 		return nil
@@ -134,7 +134,7 @@ func WithBitsPerInterval(k int) Option {
 func WithControlSubcarrierRange(min, max int) Option {
 	return func(c *config) error {
 		if min < 1 || (max != 0 && max < min) {
-			return fmt.Errorf("cos: bad control subcarrier range [%d,%d]", min, max)
+			return &ConfigError{Option: "WithControlSubcarrierRange", Reason: fmt.Sprintf("bad control subcarrier range [%d,%d]", min, max)}
 		}
 		c.minCtrl, c.maxCtrl = min, max
 		return nil
@@ -145,7 +145,7 @@ func WithControlSubcarrierRange(min, max int) Option {
 func WithDetectorFactor(f float64) Option {
 	return func(c *config) error {
 		if f <= 0 {
-			return fmt.Errorf("cos: detector factor %v must be positive", f)
+			return &ConfigError{Option: "WithDetectorFactor", Reason: fmt.Sprintf("detector factor %v must be positive", f)}
 		}
 		c.thresholdFactor = f
 		return nil
@@ -157,7 +157,7 @@ func WithDetectorFactor(f float64) Option {
 func WithSilenceBudget(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
-			return fmt.Errorf("cos: negative silence budget %d", n)
+			return &ConfigError{Option: "WithSilenceBudget", Reason: fmt.Sprintf("negative silence budget %d", n)}
 		}
 		c.silenceBudget = n
 		c.adaptiveBudget = false
@@ -170,7 +170,7 @@ func WithInterference(power float64, burstLen int, startProb float64) Option {
 	return func(c *config) error {
 		p := &channel.PulseInterferer{Power: power, BurstLen: burstLen, StartProb: startProb}
 		if err := p.Validate(); err != nil {
-			return err
+			return &ConfigError{Option: "WithInterference", Reason: err.Error(), Err: err}
 		}
 		c.interferer = p
 		return nil
@@ -182,7 +182,7 @@ func WithInterference(power float64, burstLen int, startProb float64) Option {
 func WithPacketInterval(seconds float64) Option {
 	return func(c *config) error {
 		if seconds <= 0 {
-			return fmt.Errorf("cos: packet interval %v must be positive", seconds)
+			return &ConfigError{Option: "WithPacketInterval", Reason: fmt.Sprintf("packet interval %v must be positive", seconds)}
 		}
 		c.packetInterval = seconds
 		return nil
@@ -222,7 +222,7 @@ func WithControlFraming() Option {
 func WithObserver(o Observer) Option {
 	return func(c *config) error {
 		if o == nil {
-			return fmt.Errorf("cos: nil observer")
+			return &ConfigError{Option: "WithObserver", Reason: "nil observer"}
 		}
 		c.observers = append(c.observers, o)
 		return nil
@@ -235,7 +235,7 @@ func WithObserver(o Observer) Option {
 func WithMetricsRegistry(r *MetricsRegistry) Option {
 	return func(c *config) error {
 		if r == nil {
-			return fmt.Errorf("cos: nil metrics registry")
+			return &ConfigError{Option: "WithMetricsRegistry", Reason: "nil metrics registry"}
 		}
 		c.metrics = r
 		return nil

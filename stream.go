@@ -6,9 +6,48 @@ import (
 	icos "cos/internal/cos"
 )
 
+// StreamOutcome classifies how a SendStream transfer ended. The zero value
+// is meaningless; every StreamResult carries one of the named outcomes.
+type StreamOutcome int
+
+const (
+	// StreamDelivered: the receiver reassembled the full payload.
+	StreamDelivered StreamOutcome = iota + 1
+	// StreamStallAborted: the stream gave up after maxStreamStalls
+	// consecutive budget-starved packets.
+	StreamStallAborted
+	// StreamFragmentLost: a fragment failed CRC validation at the receiver
+	// (or the stream ran out of fragments without completing).
+	StreamFragmentLost
+	// StreamHeaderCorrupted: a fragment passed its CRC but its reassembly
+	// header no longer continued the stream — a detection error rewrote the
+	// header into a non-continuation.
+	StreamHeaderCorrupted
+)
+
+// String returns the outcome's name.
+func (o StreamOutcome) String() string {
+	switch o {
+	case StreamDelivered:
+		return "delivered"
+	case StreamStallAborted:
+		return "stall-aborted"
+	case StreamFragmentLost:
+		return "fragment-lost"
+	case StreamHeaderCorrupted:
+		return "header-corrupted"
+	default:
+		return fmt.Sprintf("StreamOutcome(%d)", int(o))
+	}
+}
+
 // StreamResult reports a multi-packet control stream transfer.
 type StreamResult struct {
+	// Outcome classifies how the transfer ended.
+	Outcome StreamOutcome
 	// Delivered reports whether the receiver reassembled the full payload.
+	// It is always Outcome == StreamDelivered; kept as a field for
+	// compatibility with callers predating Outcome.
 	Delivered bool
 	// Payload is the receiver's reassembled copy when Delivered.
 	Payload []byte
@@ -17,6 +56,13 @@ type StreamResult struct {
 	PacketsUsed int
 	// FragmentsSent and FragmentsDelivered count the stream's fragments.
 	FragmentsSent, FragmentsDelivered int
+}
+
+// finish stamps the outcome and keeps Delivered in sync with it.
+func (r *StreamResult) finish(o StreamOutcome) *StreamResult {
+	r.Outcome = o
+	r.Delivered = o == StreamDelivered
+	return r
 }
 
 // maxStreamStalls bounds how many consecutive budget-starved packets a
@@ -29,12 +75,12 @@ const maxStreamStalls = 8
 // CRC-validated before reassembly. data supplies the payload reused for
 // every packet.
 //
-// A corrupted or lost fragment aborts the stream (Delivered false): CoS
-// control messages are small state updates, and the caller retries whole
-// messages.
+// A corrupted or lost fragment aborts the stream (the result's Outcome
+// says which way): CoS control messages are small state updates, and the
+// caller retries whole messages.
 func (l *Link) SendStream(payload, data []byte) (*StreamResult, error) {
 	if !l.cfg.controlFraming {
-		return nil, fmt.Errorf("cos: SendStream requires WithControlFraming")
+		return nil, fmt.Errorf("cos: SendStream requires WithControlFraming: %w", ErrFramingRequired)
 	}
 	if len(payload) == 0 {
 		return nil, fmt.Errorf("cos: empty stream payload")
@@ -80,7 +126,7 @@ func (l *Link) SendStream(payload, data []byte) (*StreamResult, error) {
 			stalls++
 			if stalls >= maxStreamStalls {
 				l.metrics.streamStallAborts.Inc()
-				return res, nil
+				return res.finish(StreamStallAborted), nil
 			}
 			continue
 		}
@@ -94,23 +140,23 @@ func (l *Link) SendStream(payload, data []byte) (*StreamResult, error) {
 		l.metrics.fragmentsSent.Inc()
 		if !ex.ControlVerified {
 			l.metrics.streamFragAborts.Inc()
-			return res, nil // fragment lost: abort the stream
+			return res.finish(StreamFragmentLost), nil // fragment lost: abort the stream
 		}
 		res.FragmentsDelivered++
 		l.metrics.fragmentsDelivered.Inc()
 		msg, done, err := re.Push(ex.ControlPayload)
 		if err != nil {
 			l.metrics.streamFragAborts.Inc()
-			return res, nil // header corrupted into a non-continuation
+			// Header corrupted into a non-continuation.
+			return res.finish(StreamHeaderCorrupted), nil
 		}
 		if done {
-			res.Delivered = true
 			res.Payload = msg
 			l.metrics.streamsDelivered.Inc()
-			return res, nil
+			return res.finish(StreamDelivered), nil
 		}
 		i++
 	}
 	l.metrics.streamFragAborts.Inc()
-	return res, nil
+	return res.finish(StreamFragmentLost), nil
 }

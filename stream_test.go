@@ -35,6 +35,9 @@ func TestSendStreamStallAbort(t *testing.T) {
 	if res.Delivered {
 		t.Fatal("stream delivered with a zero budget")
 	}
+	if res.Outcome != StreamStallAborted {
+		t.Errorf("Outcome = %v, want %v", res.Outcome, StreamStallAborted)
+	}
 	if res.FragmentsSent != 0 {
 		t.Errorf("fragments sent with a zero budget: %d", res.FragmentsSent)
 	}
@@ -61,6 +64,9 @@ func TestSendStreamFragmentAbort(t *testing.T) {
 	if res.Delivered {
 		t.Fatal("stream delivered through a 4 dB channel")
 	}
+	if res.Outcome != StreamFragmentLost && res.Outcome != StreamHeaderCorrupted {
+		t.Errorf("Outcome = %v, want a fragment abort", res.Outcome)
+	}
 	if snap["cos_stream_fragment_aborts_total"] != 1 {
 		t.Errorf("cos_stream_fragment_aborts_total = %v, want 1", snap["cos_stream_fragment_aborts_total"])
 	}
@@ -81,6 +87,9 @@ func TestSendStreamDeliveredMetrics(t *testing.T) {
 	res, snap := streamSnapshot(t, 180, WithSNR(19), WithSeed(91), WithFixedRate(24))
 	if !res.Delivered {
 		t.Fatalf("stream not delivered: %+v", res)
+	}
+	if res.Outcome != StreamDelivered {
+		t.Errorf("Outcome = %v, want %v", res.Outcome, StreamDelivered)
 	}
 	for name, want := range map[string]float64{
 		"cos_stream_sends_total":               1,
