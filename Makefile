@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench bench-parallel figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -39,6 +39,12 @@ bench:
 # timings themselves.
 bench-parallel:
 	$(GO) test -run TestWriteBenchParallelReport -bench-parallel-out BENCH_parallel.json -v .
+
+# Regenerate BENCH_trace.json: times the exchange loop span-only, with a
+# probe every 64th packet, and with a probe every packet, and checks the
+# sampled-probe overhead stays within the 2% budget.
+bench-trace:
+	$(GO) test -run TestWriteBenchTraceReport -bench-trace-out BENCH_trace.json -v .
 
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:

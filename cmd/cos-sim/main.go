@@ -86,6 +86,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for -runs (results identical for any count)")
 		verbose  = flag.Bool("v", false, "print each packet (single run only)")
 		traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file (single run only)")
+		probeN   = flag.Int("probe", 0, "record a PHY introspection probe every N packets into the trace (0 = off; needs -trace)")
 		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
 		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
 	)
@@ -111,22 +112,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cos-sim: -trace and -v need a deterministic packet order; use -runs 1")
 		os.Exit(2)
 	}
+	if *probeN < 0 {
+		fmt.Fprintf(os.Stderr, "cos-sim: -probe %d must be non-negative\n", *probeN)
+		os.Exit(2)
+	}
+	if *probeN > 0 && *traceOut == "" {
+		fmt.Fprintln(os.Stderr, "cos-sim: -probe records into the trace; add -trace <file>")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// Trace capture rides the link's observer hook: one event stream
 	// feeds the trace file, the metrics registry, and the printed stats.
+	// The schema header goes out immediately and closeTrace flushes on
+	// EVERY exit path — os.Exit skips defers, so the interrupt path below
+	// must call it explicitly or a Ctrl-C leaves a truncated trace behind.
 	var tw *trace.Writer
+	closeTrace := func() {}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		tw = trace.NewWriter(f)
-		defer tw.Flush()
+		closed := false
+		closeTrace = func() {
+			if closed {
+				return
+			}
+			closed = true
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "cos-sim: trace: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cos-sim: trace: %v\n", err)
+			}
+		}
+		defer closeTrace()
+		if err := tw.WriteHeader(); err != nil {
+			fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+			closeTrace()
+			os.Exit(1)
+		}
 	}
 
 	// One session per run. Run 0 reproduces the historical single-run
@@ -153,6 +183,9 @@ func main() {
 		}
 		if tw != nil && run == 0 {
 			opts = append(opts, cos.WithObserver(tw.Observer()))
+			if *probeN > 0 {
+				opts = append(opts, cos.WithProbe(*probeN, nil))
+			}
 		}
 		link, err := cos.NewLink(opts...)
 		if err != nil {
@@ -219,6 +252,7 @@ func main() {
 		return nil
 	})
 	if err != nil {
+		closeTrace() // os.Exit skips defers; keep the partial trace readable
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "cos-sim: interrupted")
 			os.Exit(130)
@@ -230,6 +264,7 @@ func main() {
 	if tw != nil {
 		if err := tw.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+			closeTrace()
 			os.Exit(1)
 		}
 	}

@@ -1,14 +1,20 @@
-// Command cos-trace summarizes a JSON-lines event trace captured with
-// cos-sim -trace: packet and control delivery rates, detector error
-// totals, control throughput, and the data-rate histogram.
+// Command cos-trace inspects a JSON-lines event trace captured with
+// cos-sim -trace.
 //
-//	cos-sim -snr 18 -packets 500 -trace session.jsonl
-//	cos-trace session.jsonl
+//	cos-trace session.jsonl                  # summary (default subcommand)
+//	cos-trace summary [flags] session.jsonl  # delivery/detector/rate summary
+//	cos-trace report -o out.html session.jsonl
+//
+// summary prints packet and control delivery rates, detector error totals,
+// control throughput, and the data-rate histogram. report renders the
+// flight-recorder view — stage latencies, EVM waterfall, erasure and
+// symbol-error maps — as a self-contained HTML file (stdout by default).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -17,54 +23,157 @@ import (
 )
 
 func main() {
-	var (
-		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
-		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cos-trace [flags] <trace.jsonl>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, `usage: cos-trace [summary|report] [flags] <trace.jsonl>
+
+subcommands:
+  summary   print delivery, detector and rate statistics (default)
+  report    render a self-contained HTML flight-recorder report
+
+run "cos-trace <subcommand> -h" for that subcommand's flags`)
+	return 2
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// A recognized first argument selects the subcommand; anything else is
+	// taken as the trace path for the historical default, `cos-trace
+	// <trace.jsonl>`, which behaves as `summary`.
+	sub := "summary"
+	if len(args) > 0 {
+		switch args[0] {
+		case "summary", "report":
+			sub, args = args[0], args[1:]
+		case "help", "-h", "-help", "--help":
+			return usage(stderr)
+		}
+	}
+	switch sub {
+	case "report":
+		return runReport(args, stdout, stderr)
+	default:
+		return runSummary(args, stdout, stderr)
+	}
+}
+
+// parseTraceArg parses flags on fs and returns the single positional trace
+// path. All subcommands funnel usage errors through here: bad flags and a
+// wrong argument count both exit 2 with the usage line on stderr.
+func parseTraceArg(fs *flag.FlagSet, args []string, stderr io.Writer) (string, bool) {
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return "", false // flag package already printed the error + usage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintf(stderr, "usage: cos-trace %s [flags] <trace.jsonl>\n", fs.Name())
+		return "", false
+	}
+	return fs.Arg(0), true
+}
+
+func readTrace(path string, stderr io.Writer) ([]trace.Event, int, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "cos-trace: %v\n", err)
+		return nil, 0, false
+	}
+	defer f.Close()
+	events, version, err := trace.ReadVersioned(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "cos-trace: %v\n", err)
+		return nil, 0, false
+	}
+	return events, version, true
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	obsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
+	obsStats := fs.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
+	path, ok := parseTraceArg(fs, args, stderr)
+	if !ok {
+		return 2
 	}
 	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cos-trace: %v\n", err)
+		return 1
 	}
 	defer stopObs()
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	events, err := trace.Read(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)
-		os.Exit(1)
+	events, version, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
 	}
 	s, err := trace.Summarize(events)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cos-trace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cos-trace: %v\n", err)
+		return 1
 	}
-	fmt.Printf("events:                 %d\n", s.Events)
-	fmt.Printf("data PRR:               %.4f\n", s.DataPRR)
-	fmt.Printf("control attempts:       %d\n", s.ControlAttempts)
-	fmt.Printf("control delivery:       %.4f\n", s.ControlDelivery)
-	fmt.Printf("control CRC-verified:   %.4f\n", s.ControlVerifiedRate)
-	fmt.Printf("control throughput:     %.0f bit/s\n", s.ControlThroughputBps)
-	fmt.Printf("silence symbols:        %d\n", s.SilencesTotal)
-	fmt.Printf("detector errors:        %d FP, %d FN\n", s.FalsePositives, s.FalseNegatives)
-	fmt.Printf("mean measured SNR:      %.1f dB\n", s.MeanMeasuredSNRdB)
+	fmt.Fprintf(stdout, "schema version:         %d\n", version)
+	fmt.Fprintf(stdout, "events:                 %d\n", s.Events)
+	fmt.Fprintf(stdout, "data PRR:               %.4f\n", s.DataPRR)
+	fmt.Fprintf(stdout, "control attempts:       %d\n", s.ControlAttempts)
+	fmt.Fprintf(stdout, "control delivery:       %.4f\n", s.ControlDelivery)
+	fmt.Fprintf(stdout, "control CRC-verified:   %.4f\n", s.ControlVerifiedRate)
+	fmt.Fprintf(stdout, "control throughput:     %.0f bit/s\n", s.ControlThroughputBps)
+	fmt.Fprintf(stdout, "silence symbols:        %d\n", s.SilencesTotal)
+	fmt.Fprintf(stdout, "detector errors:        %d FP, %d FN\n", s.FalsePositives, s.FalseNegatives)
+	fmt.Fprintf(stdout, "mean measured SNR:      %.1f dB\n", s.MeanMeasuredSNRdB)
+	fmt.Fprintf(stdout, "probes:                 %d\n", s.Probes)
 	rates := make([]int, 0, len(s.RateHistogram))
 	for r := range s.RateHistogram {
 		rates = append(rates, r)
 	}
 	sort.Ints(rates)
-	fmt.Printf("rate histogram:        ")
+	fmt.Fprintf(stdout, "rate histogram:        ")
 	for _, r := range rates {
-		fmt.Printf(" %dMbps:%d", r, s.RateHistogram[r])
+		fmt.Fprintf(stdout, " %dMbps:%d", r, s.RateHistogram[r])
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
+	if len(s.StageNSTotals) > 0 {
+		stages := make([]string, 0, len(s.StageNSTotals))
+		for st := range s.StageNSTotals {
+			stages = append(stages, st)
+		}
+		sort.Strings(stages)
+		fmt.Fprintf(stdout, "stage time totals:     ")
+		for _, st := range stages {
+			fmt.Fprintf(stdout, " %s:%.2fms", st, float64(s.StageNSTotals[st])/1e6)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+func runReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	out := fs.String("o", "", "write the HTML report to this file (default stdout)")
+	path, ok := parseTraceArg(fs, args, stderr)
+	if !ok {
+		return 2
+	}
+	events, version, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
+	}
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "cos-trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.WriteReport(dst, events, version); err != nil {
+		fmt.Fprintf(stderr, "cos-trace: %v\n", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Fprintf(stderr, "cos-trace: wrote %s (%d events, schema v%d)\n", *out, len(events), version)
+	}
+	return 0
 }

@@ -150,22 +150,32 @@ func (d Detector) DetectSymbol(fe *phy.FrontEnd, sym int) ([]bool, error) {
 	return out, nil
 }
 
+// DecodeMask interprets an already-detected silence mask: start marker and
+// interval extraction, then control-bit decoding. Splitting this from
+// DetectMask lets callers time (and instrument) energy detection and
+// interval decoding as separate pipeline stages, and keep the mask for the
+// erasure decoder even when interval decoding fails.
+func DecodeMask(mask [][]bool, ctrlSCs []int, k int) ([]byte, error) {
+	intervals, err := ExtractIntervals(mask, ctrlSCs)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeIntervals(intervals, k)
+}
+
 // ExtractControl runs the receive side of CoS in one call: detect silences
-// on the control subcarriers, interpret the start marker and intervals, and
-// decode the control bits. It returns the bits, the detected mask (to feed
-// the erasure Viterbi decoder), and the raw intervals.
+// on the control subcarriers (DetectMask), then interpret the start marker
+// and intervals and decode the control bits (DecodeMask). It returns the
+// bits and the detected mask (to feed the erasure Viterbi decoder); on an
+// interval-decoding error the mask is still returned.
 func ExtractControl(fe *phy.FrontEnd, ctrlSCs []int, det Detector, k int) (controlBits []byte, mask [][]bool, err error) {
 	mask, err = det.DetectMask(fe, ctrlSCs)
 	if err != nil {
 		return nil, nil, err
 	}
-	intervals, err := ExtractIntervals(mask, ctrlSCs)
+	controlBits, err = DecodeMask(mask, ctrlSCs, k)
 	if err != nil {
-		return nil, nil, err
-	}
-	controlBits, err = DecodeIntervals(intervals, k)
-	if err != nil {
-		return nil, nil, err
+		return nil, mask, err
 	}
 	return controlBits, mask, nil
 }

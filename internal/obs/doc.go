@@ -25,6 +25,14 @@
 // Link.Send is <2%, enforced by BENCH_obs.json and
 // BenchmarkLinkExchangeInstrumented at the repository root.
 //
+// SpanSet/Span time multi-stage pipelines: a SpanSet registers one
+// latency histogram per named stage and keeps an atomic per-owner
+// nanosecond accumulator alongside, so owners (e.g. cos.Link) can Drain
+// a per-operation stage breakdown while the histograms aggregate across
+// operations. StartSpan/End allocate nothing; the zero Span is inert.
+// The flight-recorder overhead budget (sampled probes within 2% on top
+// of spans) is enforced by BENCH_trace.json via `make bench-trace`.
+//
 // Metrics live in a Registry. The process-wide Default() registry is what
 // the pipeline instruments and what obshttp/Snapshot expose; tests that
 // need isolation build their own with NewRegistry and inject it (e.g.

@@ -66,6 +66,22 @@ func (d *Diagnostics) ErrorPositions() []int {
 	return out
 }
 
+// FlattenMask returns the flattened symbol-major positions (pos = s*48 + d)
+// of every set entry in a [symbol][subcarrier] mask; nil masks flatten to
+// nil. The inverse mapping is pos/48 (symbol), pos%48 (subcarrier) — the
+// same layout Diagnostics.ErrorPositions uses.
+func FlattenMask(mask [][]bool) []int {
+	var out []int
+	for s, row := range mask {
+		for d, set := range row {
+			if set {
+				out = append(out, s*ofdm.NumData+d)
+			}
+		}
+	}
+	return out
+}
+
 // Diagnose compares a received front end against the transmitted packet.
 // erased marks positions to exclude (silence symbols); it may be nil.
 // hardCoded, if non-nil, is DecodeResult.HardCodedBits and enables the

@@ -1,0 +1,609 @@
+package trace
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"strings"
+
+	"cos"
+	"cos/internal/ofdm"
+)
+
+// WriteReport renders a captured trace as a deterministic, self-contained
+// HTML page: delivery/outcome summary, per-stage pipeline latency
+// distributions, and — when the trace carries probes (schema v2,
+// cos.WithProbe) — the per-subcarrier EVM waterfall, symbol-error and
+// erasure maps behind the paper's Figs. 5-7. The output uses inline SVG
+// and CSS only (no scripts, no external resources) and is byte-identical
+// for identical input, so reports can be diffed and archived alongside
+// their traces.
+func WriteReport(w io.Writer, events []Event, version int) error {
+	s, err := Summarize(events)
+	if err != nil {
+		return err
+	}
+	d := buildReportData(events, s, version)
+	t, err := template.New("report").Parse(reportTemplate)
+	if err != nil {
+		return fmt.Errorf("trace: report template: %w", err)
+	}
+	if err := t.Execute(w, d); err != nil {
+		return fmt.Errorf("trace: report: %w", err)
+	}
+	return nil
+}
+
+// maxWaterfallRows bounds the EVM waterfall's height; longer traces are
+// downsampled evenly (the report says so — no silent truncation).
+const maxWaterfallRows = 64
+
+type statTile struct {
+	Label, Value, Detail string
+}
+
+type tableRow struct {
+	Cells []string
+}
+
+type reportSection struct {
+	Title, Note string
+	SVG         template.HTML
+	Rows        []tableRow
+	Header      []string
+}
+
+type reportData struct {
+	Version   int
+	Events    int
+	Tiles     []statTile
+	Sections  []reportSection
+	HasProbes bool
+}
+
+func buildReportData(events []Event, s *Summary, version int) *reportData {
+	d := &reportData{Version: version, Events: s.Events}
+	d.Tiles = []statTile{
+		{"Events", fmt.Sprintf("%d", s.Events), fmt.Sprintf("schema v%d", version)},
+		{"Data PRR", fmt.Sprintf("%.4f", s.DataPRR), "FCS pass rate"},
+		{"Control delivery", fmt.Sprintf("%.4f", s.ControlDelivery),
+			fmt.Sprintf("%d attempts", s.ControlAttempts)},
+		{"Control throughput", fmt.Sprintf("%.0f bit/s", s.ControlThroughputBps),
+			fmt.Sprintf("%d bits delivered", s.ControlBitsDelivered)},
+		{"Mean measured SNR", fmt.Sprintf("%.1f dB", s.MeanMeasuredSNRdB), "NIC estimate"},
+		{"Probes", fmt.Sprintf("%d", s.Probes), "PHY introspection samples"},
+	}
+	d.Sections = append(d.Sections, outcomeSection(s))
+	d.Sections = append(d.Sections, stageSection(events))
+	d.Sections = append(d.Sections, controlSection(events, s))
+
+	probes := probeEvents(events)
+	d.HasProbes = len(probes) > 0
+	if d.HasProbes {
+		d.Sections = append(d.Sections, evmMeanSection(probes))
+		d.Sections = append(d.Sections, evmWaterfallSection(probes))
+		d.Sections = append(d.Sections, errorMapSections(probes)...)
+	} else {
+		d.Sections = append(d.Sections, reportSection{
+			Title: "PHY introspection",
+			Note: "This trace carries no probes. Capture with cos-sim -trace out.jsonl " +
+				"-probe N (or cos.WithProbe) to record per-subcarrier EVM, symbol-error " +
+				"and erasure maps (schema v2).",
+		})
+	}
+	return d
+}
+
+func probeEvents(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Probe != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// --- outcome & control sections ------------------------------------------
+
+func outcomeSection(s *Summary) reportSection {
+	sec := reportSection{
+		Title:  "Delivery and outcomes",
+		Header: []string{"Measure", "Value"},
+	}
+	rates := make([]int, 0, len(s.RateHistogram))
+	for r := range s.RateHistogram {
+		rates = append(rates, r)
+	}
+	sort.Ints(rates)
+	var rh strings.Builder
+	for i, r := range rates {
+		if i > 0 {
+			rh.WriteString(", ")
+		}
+		fmt.Fprintf(&rh, "%d Mb/s: %d", r, s.RateHistogram[r])
+	}
+	sec.Rows = []tableRow{
+		{[]string{"Packets", fmt.Sprintf("%d", s.Events)}},
+		{[]string{"Data PRR", fmt.Sprintf("%.4f", s.DataPRR)}},
+		{[]string{"Silence symbols inserted", fmt.Sprintf("%d", s.SilencesTotal)}},
+		{[]string{"Rate histogram", rh.String()}},
+	}
+	return sec
+}
+
+func controlSection(events []Event, s *Summary) reportSection {
+	sec := reportSection{
+		Title:  "Interval-decode error breakdown",
+		Header: []string{"Outcome", "Count", "Rate"},
+	}
+	attempts := s.ControlAttempts
+	if attempts == 0 {
+		sec.Note = "No control bits were embedded in this session."
+		return sec
+	}
+	delivered, verified, silentFail := 0, 0, 0
+	for _, e := range events {
+		if e.ControlBits == 0 {
+			continue
+		}
+		if e.ControlOK {
+			delivered++
+		}
+		if e.ControlVerified {
+			verified++
+		}
+		if !e.ControlOK && e.FalsePositives == 0 && e.FalseNegatives == 0 {
+			silentFail++
+		}
+	}
+	rate := func(n int) string { return fmt.Sprintf("%.4f", float64(n)/float64(attempts)) }
+	sec.Rows = []tableRow{
+		{[]string{"Control attempts", fmt.Sprintf("%d", attempts), "1.0000"}},
+		{[]string{"Delivered (genie comparison)", fmt.Sprintf("%d", delivered), rate(delivered)}},
+		{[]string{"CRC-verified", fmt.Sprintf("%d", verified), rate(verified)}},
+		{[]string{"Failed", fmt.Sprintf("%d", attempts-delivered), rate(attempts - delivered)}},
+		{[]string{"Failed without a detector error on record", fmt.Sprintf("%d", silentFail), rate(silentFail)}},
+		{[]string{"Detector false positives (total)", fmt.Sprintf("%d", s.FalsePositives), ""}},
+		{[]string{"Detector false negatives (total)", fmt.Sprintf("%d", s.FalseNegatives), ""}},
+	}
+	sec.Note = "A single detection error shifts every later interval, so one FP/FN " +
+		"typically fails the whole message; failures with no recorded detector error " +
+		"point at interval framing (start-marker loss) instead."
+	return sec
+}
+
+// --- stage latency section -----------------------------------------------
+
+func stageSection(events []Event) reportSection {
+	sec := reportSection{
+		Title:  "Pipeline stage latency",
+		Header: []string{"Stage", "Exchanges", "Min", "p50", "Mean", "p95", "Max", "Share"},
+	}
+	byStage := map[string][]int64{}
+	for _, e := range events {
+		for st, ns := range e.StageNS {
+			byStage[st] = append(byStage[st], ns)
+		}
+	}
+	if len(byStage) == 0 {
+		sec.Note = "This trace predates schema v2: no per-stage latencies were recorded."
+		return sec
+	}
+	// Canonical pipeline order first, then any unknown stages (from a
+	// newer build) alphabetically.
+	order := cos.StageNames()
+	known := map[string]bool{}
+	for _, st := range order {
+		known[st] = true
+	}
+	var extra []string
+	for st := range byStage {
+		if !known[st] {
+			extra = append(extra, st)
+		}
+	}
+	sort.Strings(extra)
+	order = append(order, extra...)
+
+	var total float64
+	means := map[string]float64{}
+	for st, ns := range byStage {
+		var sum int64
+		for _, v := range ns {
+			sum += v
+		}
+		means[st] = float64(sum) / float64(len(ns))
+		total += float64(sum)
+	}
+	var svg strings.Builder
+	const barH, gap, left, width = 18, 2, 150, 560
+	var maxMean float64
+	for _, m := range means {
+		if m > maxMean {
+			maxMean = m
+		}
+	}
+	present := 0
+	for _, st := range order {
+		if _, ok := byStage[st]; ok {
+			present++
+		}
+	}
+	h := present*(barH+gap) + gap
+	fmt.Fprintf(&svg, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="Mean time per pipeline stage">`,
+		left+width+90, h, left+width+90, h)
+	y := gap
+	for _, st := range order {
+		ns, ok := byStage[st]
+		if !ok {
+			continue
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		mean := means[st]
+		w := 0.0
+		if maxMean > 0 {
+			w = mean / maxMean * width
+		}
+		var sum int64
+		for _, v := range ns {
+			sum += v
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(sum) / total
+		}
+		fmt.Fprintf(&svg, `<text x="%d" y="%d" class="lbl" text-anchor="end">%s</text>`,
+			left-8, y+barH-5, template.HTMLEscapeString(st))
+		fmt.Fprintf(&svg, `<rect x="%d" y="%d" width="%.1f" height="%d" rx="1.5" class="bar"><title>%s: mean %s over %d exchanges (%.1f%% of pipeline time)</title></rect>`,
+			left, y, w, barH, template.HTMLEscapeString(st), fmtNS(mean), len(ns), share*100)
+		fmt.Fprintf(&svg, `<text x="%.1f" y="%d" class="val">%s</text>`,
+			float64(left)+w+6, y+barH-5, fmtNS(mean))
+		sec.Rows = append(sec.Rows, tableRow{[]string{
+			st, fmt.Sprintf("%d", len(ns)),
+			fmtNS(float64(ns[0])),
+			fmtNS(float64(percentile(ns, 0.50))),
+			fmtNS(mean),
+			fmtNS(float64(percentile(ns, 0.95))),
+			fmtNS(float64(ns[len(ns)-1])),
+			fmt.Sprintf("%.1f%%", share*100),
+		}})
+		y += barH + gap
+	}
+	svg.WriteString(`</svg>`)
+	sec.SVG = template.HTML(svg.String())
+	sec.Note = "Mean wall-clock time per stage (bar lengths share one scale). " +
+		"The table adds min/p50/p95/max across all exchanges that ran the stage."
+	return sec
+}
+
+// percentile returns the nearest-rank q-quantile of sorted ns.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fmtNS(ns float64) string {
+	switch {
+	case ns < 1e3:
+		return fmt.Sprintf("%.0f ns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1f µs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2f ms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2f s", ns/1e9)
+	}
+}
+
+// --- probe-derived sections ----------------------------------------------
+
+// seqRamp is the sequential blue ramp (light to dark) for magnitude heat
+// cells; rampColor interpolates by picking the nearest step.
+var seqRamp = []string{
+	"#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+	"#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+}
+
+// orangeRamp is the second sequential context (symbol-error heat).
+var orangeRamp = []string{
+	"#fbe3d8", "#f6c4ab", "#f1a47e", "#ee8a58", "#eb6834", "#d95926", "#b84a1f",
+}
+
+func rampColor(ramp []string, t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	i := int(t * float64(len(ramp)-1))
+	return ramp[i]
+}
+
+func evmMeanSection(probes []Event) reportSection {
+	sec := reportSection{Title: "Per-subcarrier EVM (Fig. 5)"}
+	mean := make([]float64, ofdm.NumData)
+	n := make([]int, ofdm.NumData)
+	ctrl := map[int]bool{}
+	for _, e := range probes {
+		for sc, v := range e.Probe.EVM {
+			if sc >= ofdm.NumData {
+				break
+			}
+			mean[sc] += v
+			n[sc]++
+		}
+		for _, sc := range e.ControlSubcarriers {
+			if sc >= 0 && sc < ofdm.NumData {
+				ctrl[sc] = true
+			}
+		}
+	}
+	var maxV float64
+	for sc := range mean {
+		if n[sc] > 0 {
+			mean[sc] /= float64(n[sc])
+		}
+		if mean[sc] > maxV {
+			maxV = mean[sc]
+		}
+	}
+	sec.SVG = barChart(mean, maxV, func(sc int) string {
+		if ctrl[sc] {
+			return "#eb6834"
+		}
+		return "#2a78d6"
+	}, func(sc int) string {
+		role := "data"
+		if ctrl[sc] {
+			role = "control"
+		}
+		return fmt.Sprintf("subcarrier %d (%s): mean EVM %.4f", sc, role, mean[sc])
+	}, fmt.Sprintf("%.3f", maxV))
+	sec.Note = "Mean EVM per data subcarrier across all probes. Orange bars are " +
+		"subcarriers the link selected for control at least once — EVM-guided " +
+		"selection should put them on the weak (high-EVM) columns."
+	return sec
+}
+
+func evmWaterfallSection(probes []Event) reportSection {
+	sec := reportSection{Title: "EVM waterfall (Fig. 7)"}
+	rows := sampleRows(probes)
+	var maxV float64
+	for _, e := range rows {
+		for _, v := range e.Probe.EVM {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	sec.SVG = heatmap(rows, maxV, seqRamp,
+		func(e Event, sc int) float64 {
+			if sc < len(e.Probe.EVM) {
+				return e.Probe.EVM[sc]
+			}
+			return 0
+		},
+		func(e Event, sc int, v float64) string {
+			return fmt.Sprintf("pkt %d, subcarrier %d: EVM %.4f", e.Seq, sc, v)
+		})
+	sec.Note = waterfallNote(len(rows), len(probes),
+		fmt.Sprintf("Cell color: EVM from near 0 (light) to %.3f (dark). "+
+			"Stable dark columns are the persistent weak subcarriers the paper exploits.", maxV))
+	return sec
+}
+
+func errorMapSections(probes []Event) []reportSection {
+	rows := sampleRows(probes)
+	// Per-subcarrier totals across all probes.
+	errCounts := make([]float64, ofdm.NumData)
+	eraseCounts := make([]float64, ofdm.NumData)
+	for _, e := range probes {
+		for _, pos := range e.Probe.SymbolErrorPositions {
+			errCounts[pos%ofdm.NumData]++
+		}
+		for _, pos := range e.Probe.ErasurePositions {
+			eraseCounts[pos%ofdm.NumData]++
+		}
+	}
+	maxOf := func(v []float64) float64 {
+		var m float64
+		for _, x := range v {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+
+	errSec := reportSection{Title: "Symbol errors per subcarrier (Fig. 6)"}
+	maxE := maxOf(errCounts)
+	errSec.SVG = barChart(errCounts, maxE, func(int) string { return "#eb6834" },
+		func(sc int) string {
+			return fmt.Sprintf("subcarrier %d: %.0f symbol errors", sc, errCounts[sc])
+		}, fmt.Sprintf("%.0f", maxE))
+	errSec.Note = "Demodulation symbol errors per data subcarrier, summed over probes " +
+		"(erased positions excluded). The concentration on a few columns is the " +
+		"frequency-selective error pattern of Fig. 6."
+
+	per := make([]float64, ofdm.NumData)
+	copy(per, eraseCounts)
+	eraseSec := reportSection{Title: "Erasure map"}
+	maxEr := maxOf(per)
+	eraseSec.SVG = barChart(per, maxEr, func(int) string { return "#2a78d6" },
+		func(sc int) string {
+			return fmt.Sprintf("subcarrier %d: %.0f erasures", sc, per[sc])
+		}, fmt.Sprintf("%.0f", maxEr))
+	eraseSec.Note = "Positions the energy detector declared silent (and the EVD " +
+		"erased), per subcarrier. These should sit on the control set."
+
+	wf := reportSection{Title: "Symbol-error waterfall"}
+	var maxCell float64
+	cell := func(e Event, sc int) float64 {
+		var c float64
+		for _, pos := range e.Probe.SymbolErrorPositions {
+			if pos%ofdm.NumData == sc {
+				c++
+			}
+		}
+		return c
+	}
+	for _, e := range rows {
+		for sc := 0; sc < ofdm.NumData; sc++ {
+			if v := cell(e, sc); v > maxCell {
+				maxCell = v
+			}
+		}
+	}
+	wf.SVG = heatmap(rows, maxCell, orangeRamp, cell,
+		func(e Event, sc int, v float64) string {
+			return fmt.Sprintf("pkt %d, subcarrier %d: %.0f symbol errors", e.Seq, sc, v)
+		})
+	wf.Note = waterfallNote(len(rows), len(probes),
+		fmt.Sprintf("Cell color: symbol errors in that packet on that subcarrier, 0 (light) to %.0f (dark).", maxCell))
+	return []reportSection{errSec, eraseSec, wf}
+}
+
+func waterfallNote(shown, total int, detail string) string {
+	if shown < total {
+		return fmt.Sprintf("Showing %d of %d probes (evenly downsampled). %s", shown, total, detail)
+	}
+	return fmt.Sprintf("One row per probe (%d), oldest at the top. %s", total, detail)
+}
+
+// sampleRows evenly downsamples probes to maxWaterfallRows, keeping order.
+func sampleRows(probes []Event) []Event {
+	if len(probes) <= maxWaterfallRows {
+		return probes
+	}
+	out := make([]Event, 0, maxWaterfallRows)
+	for i := 0; i < maxWaterfallRows; i++ {
+		out = append(out, probes[i*len(probes)/maxWaterfallRows])
+	}
+	return out
+}
+
+// barChart renders one thin bar per data subcarrier with a shared scale.
+func barChart(vals []float64, maxV float64, color func(int) string, title func(int) string, maxLabel string) template.HTML {
+	const barW, gap, height, bottom, left = 12, 2, 120, 18, 40
+	width := left + len(vals)*(barW+gap) + 10
+	var svg strings.Builder
+	fmt.Fprintf(&svg, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="Per-subcarrier chart">`,
+		width, height+bottom, width, height+bottom)
+	fmt.Fprintf(&svg, `<line x1="%d" y1="%d" x2="%d" y2="%d" class="axis"/>`,
+		left, height, width-4, height)
+	fmt.Fprintf(&svg, `<text x="%d" y="10" class="lbl" text-anchor="end">%s</text>`, left-6, maxLabel)
+	fmt.Fprintf(&svg, `<text x="%d" y="%d" class="lbl" text-anchor="end">0</text>`, left-6, height)
+	for sc, v := range vals {
+		h := 0.0
+		if maxV > 0 {
+			h = v / maxV * float64(height-8)
+		}
+		x := left + sc*(barW+gap)
+		fmt.Fprintf(&svg, `<rect x="%d" y="%.1f" width="%d" height="%.1f" rx="1.5" fill="%s"><title>%s</title></rect>`,
+			x, float64(height)-h, barW, h, color(sc), template.HTMLEscapeString(title(sc)))
+		if sc%8 == 0 {
+			fmt.Fprintf(&svg, `<text x="%d" y="%d" class="lbl" text-anchor="middle">%d</text>`,
+				x+barW/2, height+14, sc)
+		}
+	}
+	svg.WriteString(`</svg>`)
+	return template.HTML(svg.String())
+}
+
+// heatmap renders one row per probe event, one cell per data subcarrier.
+func heatmap(rows []Event, maxV float64, ramp []string, value func(Event, int) float64, title func(Event, int, float64) string) template.HTML {
+	const cellW, cellH, gap, left = 13, 10, 2, 52
+	width := left + ofdm.NumData*(cellW+gap) + 10
+	height := len(rows)*(cellH+gap) + 20
+	var svg strings.Builder
+	fmt.Fprintf(&svg, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="Waterfall heatmap">`,
+		width, height, width, height)
+	for r, e := range rows {
+		y := r * (cellH + gap)
+		if r%8 == 0 {
+			fmt.Fprintf(&svg, `<text x="%d" y="%d" class="lbl" text-anchor="end">pkt %d</text>`,
+				left-6, y+cellH-1, e.Seq)
+		}
+		for sc := 0; sc < ofdm.NumData; sc++ {
+			v := value(e, sc)
+			t := 0.0
+			if maxV > 0 {
+				t = v / maxV
+			}
+			fmt.Fprintf(&svg, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s</title></rect>`,
+				left+sc*(cellW+gap), y, cellW, cellH, rampColor(ramp, t),
+				template.HTMLEscapeString(title(e, sc, v)))
+		}
+	}
+	y := len(rows)*(cellH+gap) + 14
+	for sc := 0; sc < ofdm.NumData; sc += 8 {
+		fmt.Fprintf(&svg, `<text x="%d" y="%d" class="lbl" text-anchor="middle">%d</text>`,
+			left+sc*(cellW+gap)+cellW/2, y, sc)
+	}
+	svg.WriteString(`</svg>`)
+	return template.HTML(svg.String())
+}
+
+const reportTemplate = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>CoS flight recorder report</title>
+<style>
+  :root { color-scheme: light; }
+  body {
+    margin: 2rem auto; max-width: 960px; padding: 0 1rem;
+    background: #fcfcfb; color: #0b0b0b;
+    font: 15px/1.5 system-ui, sans-serif;
+  }
+  h1 { font-size: 1.4rem; }
+  h2 { font-size: 1.1rem; margin-top: 2rem; border-bottom: 1px solid #e4e3df; padding-bottom: .3rem; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 1rem 0; }
+  .tile { background: #f4f3f0; border-radius: 8px; padding: 10px 14px; min-width: 130px; }
+  .tile .v { font-size: 1.3rem; font-weight: 600; }
+  .tile .l { color: #52514e; font-size: .8rem; }
+  .tile .d { color: #83827d; font-size: .75rem; }
+  table { border-collapse: collapse; margin: .8rem 0; }
+  th, td { text-align: left; padding: 4px 14px 4px 0; border-bottom: 1px solid #eceae6; font-variant-numeric: tabular-nums; }
+  th { color: #52514e; font-weight: 600; font-size: .85rem; }
+  .note { color: #52514e; font-size: .85rem; max-width: 70ch; }
+  svg { display: block; margin: .8rem 0; max-width: 100%; height: auto; }
+  svg .lbl { font: 11px system-ui, sans-serif; fill: #52514e; }
+  svg .val { font: 11px system-ui, sans-serif; fill: #0b0b0b; }
+  svg .bar { fill: #2a78d6; }
+  svg .axis { stroke: #c9c7c1; stroke-width: 1; }
+  .legend { display: flex; gap: 16px; color: #52514e; font-size: .85rem; align-items: center; }
+  .swatch { display: inline-block; width: 12px; height: 12px; border-radius: 3px; margin-right: 5px; vertical-align: -1px; }
+</style>
+</head>
+<body>
+<h1>CoS flight recorder report</h1>
+<p class="note">Rendered by <code>cos-trace report</code> from a schema v{{.Version}} trace
+({{.Events}} events). Sections without recorded data say so explicitly.</p>
+<div class="tiles">
+{{range .Tiles}}  <div class="tile"><div class="v">{{.Value}}</div><div class="l">{{.Label}}</div><div class="d">{{.Detail}}</div></div>
+{{end}}</div>
+{{range .Sections}}<h2>{{.Title}}</h2>
+{{if .SVG}}{{.SVG}}{{end}}
+{{if eq .Title "Per-subcarrier EVM (Fig. 5)"}}<div class="legend"><span><span class="swatch" style="background:#2a78d6"></span>data subcarrier</span><span><span class="swatch" style="background:#eb6834"></span>selected for control</span></div>
+{{end}}{{if .Rows}}<table>
+<tr>{{range .Header}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .Cells}}<td>{{.}}</td>{{end}}</tr>
+{{end}}</table>
+{{end}}{{if .Note}}<p class="note">{{.Note}}</p>
+{{end}}{{end}}
+</body>
+</html>
+`

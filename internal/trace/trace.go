@@ -9,10 +9,19 @@
 // trace — the same event stream the metrics layer consumes (DESIGN.md
 // §trace, README §Observability).
 //
-// Files begin with a schema header line ({"cos_trace_schema":1}) so
+// Files begin with a schema header line ({"cos_trace_schema":2}) so
 // readers can tell versions apart; Read tolerates files without one (the
-// pre-versioning format) and ignores unknown fields on events, so traces
-// written by newer, more instrumented builds still load.
+// pre-versioning v0 format) and v1 files (per-packet outcomes only), and
+// ignores unknown fields on events, so traces written by newer, more
+// instrumented builds still load.
+//
+// Schema v2 is the flight recorder: every event carries the per-stage
+// pipeline latencies of its exchange (stage_ns, from the span layer in
+// internal/obs), and sampled events carry a deep PHY introspection probe
+// (per-subcarrier EVM, symbol-error waterfall, erasure positions,
+// detector energy margins — captured with cos.WithProbe). cos-trace
+// report renders a captured session's probes and spans as a
+// self-contained HTML file.
 package trace
 
 import (
@@ -24,10 +33,12 @@ import (
 	"cos"
 )
 
-// SchemaVersion is the trace-file schema this package writes. Version 1
-// is the first self-describing format; files with no header are treated
-// as version 0 (same event fields, no header line).
-const SchemaVersion = 1
+// SchemaVersion is the trace-file schema this package writes. Version 2
+// adds per-stage pipeline latencies (stage_ns) and sampled PHY probes to
+// every event; version 1 was the first self-describing format; files with
+// no header are treated as version 0 (v1 event fields, no header line).
+// Readers accept all three.
+const SchemaVersion = 2
 
 // header is the first line of a versioned trace file.
 type header struct {
@@ -62,10 +73,67 @@ type Event struct {
 	ActualSNRdB   float64 `json:"actual_snr_db"`
 	// ControlSubcarriers is the control set used.
 	ControlSubcarriers []int `json:"control_subcarriers,omitempty"`
+	// StageNS maps pipeline stage names (cos.StageNames) to the wall-clock
+	// nanoseconds this exchange spent in them (schema v2; absent in v0/v1
+	// traces and for stages that did not run).
+	StageNS map[string]int64 `json:"stage_ns,omitempty"`
+	// Probe is the deep PHY introspection sample for exchanges captured
+	// with cos.WithProbe (schema v2; nil on unsampled events).
+	Probe *ProbeRecord `json:"probe,omitempty"`
+}
+
+// ProbeRecord is the serialized form of cos.Probe: the per-subcarrier
+// state behind the paper's Figs. 5-7. Flattened positions are
+// symbol-major (pos = symbol*48 + subcarrier).
+type ProbeRecord struct {
+	NumSymbols            int       `json:"num_symbols"`
+	EVM                   []float64 `json:"evm,omitempty"`
+	ErrorVectors          []float64 `json:"error_vectors,omitempty"`
+	SubcarrierErrorCounts []int     `json:"subcarrier_error_counts,omitempty"`
+	SubcarrierSymbols     []int     `json:"subcarrier_symbols,omitempty"`
+	SymbolErrorPositions  []int     `json:"symbol_error_positions,omitempty"`
+	ErasurePositions      []int     `json:"erasure_positions,omitempty"`
+	DecoderInputBitErrors int       `json:"decoder_input_bit_errors,omitempty"`
+	DecoderInputBits      int       `json:"decoder_input_bits,omitempty"`
+	DetectorThresholds    []float64 `json:"detector_thresholds,omitempty"`
+	DetectorEnergyRatios  []float64 `json:"detector_energy_ratios,omitempty"`
+	NoiseVar              float64   `json:"noise_var,omitempty"`
+}
+
+// fromProbe flattens a cos.Probe (sharing slices: events are written
+// immediately and the probe is already a clone on the observer path).
+func fromProbe(p *cos.Probe) *ProbeRecord {
+	if p == nil {
+		return nil
+	}
+	return &ProbeRecord{
+		NumSymbols:            p.NumSymbols,
+		EVM:                   p.EVM,
+		ErrorVectors:          p.ErrorVectors,
+		SubcarrierErrorCounts: p.SubcarrierErrorCounts,
+		SubcarrierSymbols:     p.SubcarrierSymbols,
+		SymbolErrorPositions:  p.SymbolErrorPositions,
+		ErasurePositions:      p.ErasurePositions,
+		DecoderInputBitErrors: p.DecoderInputBitErrors,
+		DecoderInputBits:      p.DecoderInputBits,
+		DetectorThresholds:    p.DetectorThresholds,
+		DetectorEnergyRatios:  p.DetectorEnergyRatios,
+		NoiseVar:              p.NoiseVar,
+	}
 }
 
 // FromExchange flattens a link exchange into an event.
 func FromExchange(seq int, ex *cos.Exchange, dataBytes int) Event {
+	var stageNS map[string]int64
+	for i, ns := range ex.StageNS {
+		if ns <= 0 {
+			continue
+		}
+		if stageNS == nil {
+			stageNS = make(map[string]int64, len(ex.StageNS))
+		}
+		stageNS[cos.Stage(i).String()] = ns
+	}
 	return Event{
 		Seq:                seq,
 		Time:               ex.Time,
@@ -81,6 +149,8 @@ func FromExchange(seq int, ex *cos.Exchange, dataBytes int) Event {
 		MeasuredSNRdB:      ex.MeasuredSNRdB,
 		ActualSNRdB:        ex.ActualSNRdB,
 		ControlSubcarriers: ex.ControlSubcarriers,
+		StageNS:            stageNS,
+		Probe:              fromProbe(ex.Probe),
 	}
 }
 
@@ -100,16 +170,25 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bw, enc: json.NewEncoder(bw)}
 }
 
-// Write appends one event; the first call emits the schema header line.
-func (t *Writer) Write(e Event) error {
+// WriteHeader emits the schema header line if it has not been written
+// yet. Write does this implicitly on the first event; callers that may be
+// cancelled before any event lands (cos-sim under SIGINT) call it up
+// front so even an empty or truncated capture is a well-formed, versioned
+// trace.
+func (t *Writer) WriteHeader() error {
 	if !t.wroteHdr {
 		t.wroteHdr = true
 		if err := t.enc.Encode(header{Schema: SchemaVersion}); err != nil {
 			t.headerErr = fmt.Errorf("trace: header: %w", err)
 		}
 	}
-	if t.headerErr != nil {
-		return t.headerErr
+	return t.headerErr
+}
+
+// Write appends one event; the first call emits the schema header line.
+func (t *Writer) Write(e Event) error {
+	if err := t.WriteHeader(); err != nil {
+		return err
 	}
 	if err := t.enc.Encode(e); err != nil {
 		return fmt.Errorf("trace: %w", err)
@@ -213,6 +292,11 @@ type Summary struct {
 	MeanMeasuredSNRdB float64
 	// RateHistogram counts packets per data rate.
 	RateHistogram map[int]int
+	// Probes counts events carrying a PHY introspection probe (schema v2).
+	Probes int
+	// StageNSTotals sums per-stage pipeline nanoseconds across all events
+	// that recorded them (schema v2); empty for v0/v1 traces.
+	StageNSTotals map[string]int64
 }
 
 // Summarize computes aggregate statistics over events.
@@ -220,7 +304,7 @@ func Summarize(events []Event) (*Summary, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("trace: empty trace")
 	}
-	s := &Summary{Events: len(events), RateHistogram: map[int]int{}}
+	s := &Summary{Events: len(events), RateHistogram: map[int]int{}, StageNSTotals: map[string]int64{}}
 	dataOK := 0
 	ctrlOK, ctrlVerified := 0, 0
 	var snrSum float64
@@ -244,6 +328,12 @@ func Summarize(events []Event) (*Summary, error) {
 		s.FalseNegatives += e.FalseNegatives
 		snrSum += e.MeasuredSNRdB
 		s.RateHistogram[e.RateMbps]++
+		if e.Probe != nil {
+			s.Probes++
+		}
+		for stage, ns := range e.StageNS {
+			s.StageNSTotals[stage] += ns
+		}
 		if i == 0 || e.Time < tMin {
 			tMin = e.Time
 		}

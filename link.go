@@ -91,6 +91,15 @@ type Exchange struct {
 	ActualSNRdB float64
 	// Time is the simulation time at which the packet was sent.
 	Time float64
+	// StageNS is the wall-clock nanoseconds this exchange spent in each
+	// pipeline stage, indexed by Stage (zero for stages that did not run,
+	// e.g. detection on a data-only packet). The same spans feed the
+	// cos_link_stage_*_seconds histograms.
+	StageNS [StageCount]int64
+	// Probe carries the deep PHY introspection sample for this exchange
+	// when the link was built with WithProbe and this exchange was sampled;
+	// nil otherwise.
+	Probe *Probe
 }
 
 // Clone returns a deep copy of the exchange: the slice fields (Data,
@@ -109,6 +118,7 @@ func (ex *Exchange) Clone() *Exchange {
 	cp.ControlReceived = append([]byte(nil), ex.ControlReceived...)
 	cp.ControlPayload = append([]byte(nil), ex.ControlPayload...)
 	cp.ControlSubcarriers = append([]int(nil), ex.ControlSubcarriers...)
+	cp.Probe = ex.Probe.Clone()
 	return &cp
 }
 
@@ -127,6 +137,13 @@ type linkMetrics struct {
 	feedbackLosses *obs.Counter
 	exchangeTime   *obs.Histogram
 	ratePackets    *obs.CounterFamily
+	probes         *obs.Counter
+
+	// spans times the pipeline stages of every exchange (the flight
+	// recorder): per-stage latency histograms plus the per-exchange
+	// StageNS drain. Links sharing a registry share the histograms but
+	// each link owns its SpanSet, so per-exchange windows never mix.
+	spans *obs.SpanSet
 
 	// SendStream counters (see stream.go).
 	streams            *obs.Counter
@@ -162,6 +179,10 @@ func newLinkMetrics(r *obs.Registry) linkMetrics {
 			"Wall-clock latency of one full Link.Send exchange.", nil),
 		ratePackets: r.CounterFamily("cos_link_rate_packets_total",
 			"Packets sent per 802.11a data rate.", "rate_mbps"),
+		probes: r.Counter("cos_link_probes_total",
+			"Deep PHY introspection probes captured (WithProbe sampling)."),
+		spans: obs.NewSpanSet(r, "cos_link_stage",
+			"Wall-clock latency of one Link.Send pipeline stage", StageNames()),
 		streams: r.Counter("cos_stream_sends_total",
 			"SendStream transfers started."),
 		streamsDelivered: r.Counter("cos_stream_delivered_total",
@@ -321,6 +342,7 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 	}
 
 	// Sender side.
+	spTx := l.metrics.spans.StartSpan(int(StageTxEncode))
 	psdu := bits.AppendFCS(data)
 	pkt, err := phy.BuildPacket(phy.TxConfig{Mode: mode}, psdu)
 	if err != nil {
@@ -368,6 +390,8 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 	if err != nil {
 		return nil, err
 	}
+	spTx.End()
+	spCh := l.metrics.spans.StartSpan(int(StageChannel))
 	h := l.ch.FrequencyResponse(l.now)
 	noiseVar, err := phy.NoiseVarForActualSNR(h, l.cfg.snrDB)
 	if err != nil {
@@ -383,8 +407,10 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 	if err != nil {
 		return nil, err
 	}
+	spCh.End()
 
 	// Receiver side.
+	spFE := l.metrics.spans.StartSpan(int(StageFrontEnd))
 	fe, err := phy.RunFrontEnd(rx)
 	if err != nil {
 		return nil, err
@@ -393,12 +419,20 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 	if err != nil {
 		return nil, err
 	}
+	spFE.End()
 
 	det := icos.Detector{Scheme: mode.Modulation, ThresholdFactor: l.cfg.thresholdFactor}
 	var detectedMask [][]bool
 	if len(control) > 0 {
-		ctrlBits, mask, exErr := icos.ExtractControl(fe, ctrlSCs, det, l.cfg.bitsPerInterval)
-		detectedMask = mask
+		spDet := l.metrics.spans.StartSpan(int(StageDetect))
+		detectedMask, err = det.DetectMask(fe, ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+		spDet.End()
+		spCtrl := l.metrics.spans.StartSpan(int(StageControlDecode))
+		ctrlBits, exErr := icos.DecodeMask(detectedMask, ctrlSCs, l.cfg.bitsPerInterval)
+		spCtrl.End()
 		if exErr == nil {
 			ex.ControlReceived = ctrlBits
 			if l.cfg.controlFraming {
@@ -410,11 +444,6 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 			} else {
 				ex.ControlOK = len(ctrlBits) >= len(control) && bits.Equal(ctrlBits[:len(control)], control)
 			}
-		} else if mask == nil {
-			detectedMask, err = det.DetectMask(fe, ctrlSCs)
-			if err != nil {
-				return nil, err
-			}
 		}
 		ex.Detection, err = icos.CompareMasks(truthMask, detectedMask, ctrlSCs)
 		if err != nil {
@@ -422,16 +451,21 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 		}
 	}
 
+	spEVD := l.metrics.spans.StartSpan(int(StageEVD))
 	dec, err := fe.Decode(phy.DecodeConfig{Mode: mode, PSDULen: len(psdu), Erased: detectedMask})
 	if err != nil {
 		return nil, err
 	}
-	if payload, ok := bits.CheckFCS(dec.PSDU); ok {
+	payload, dataOK := bits.CheckFCS(dec.PSDU)
+	spEVD.End()
+	if dataOK {
 		ex.DataOK = true
 		ex.Data = payload
+		spFB := l.metrics.spans.StartSpan(int(StageFeedback))
 		if err := l.updateFeedback(pkt.Config, fe, dec.PSDU, detectedMask, mode, ex.MeasuredSNRdB); err != nil {
 			return nil, err
 		}
+		spFB.End()
 	} else {
 		// Loss: the sender gets no feedback; fall back to conservative
 		// settings for the next packet (Sec. III-F).
@@ -440,6 +474,22 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 		l.ctrlSCs = nil
 		l.metrics.feedbackLosses.Inc()
 	}
+
+	// Flight recorder epilogue, off the per-packet hot path: the sampled
+	// introspection probe (never when WithProbe is absent), then the
+	// per-stage latency drain into the exchange.
+	if l.cfg.probeEvery > 0 && ex.Seq%l.cfg.probeEvery == 0 {
+		probe, err := buildProbe(ex, pkt, fe, detectedMask, dec.HardCodedBits, det, ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+		ex.Probe = probe
+		l.metrics.probes.Inc()
+		if l.cfg.probeFn != nil {
+			l.cfg.probeFn(probe)
+		}
+	}
+	l.metrics.spans.Drain(ex.StageNS[:])
 
 	l.seq++
 	l.observe(ex, start)

@@ -41,6 +41,8 @@ type config struct {
 	controlFraming   bool
 	observers        []Observer
 	metrics          *obs.Registry
+	probeEvery       int
+	probeFn          func(*Probe)
 }
 
 func defaultConfig() config {
@@ -225,6 +227,30 @@ func WithObserver(o Observer) Option {
 			return &ConfigError{Option: "WithObserver", Reason: "nil observer"}
 		}
 		c.observers = append(c.observers, o)
+		return nil
+	}
+}
+
+// WithProbe samples a deep PHY introspection Probe every nth exchange
+// (every=1 probes every packet): per-subcarrier EVM, the symbol-error
+// waterfall, erasure positions, and detector energy margins — the state
+// behind the paper's Figs. 5-7, captured live instead of re-simulated.
+//
+// Probes re-demodulate the whole packet against the transmitted grid, so
+// they are far more expensive than the exchange itself; sampling keeps
+// them off the hot path (the BENCH_trace.json overhead budget assumes
+// every >= 64 for long sessions). Without this option no probe work runs
+// at all. fn may be nil: the probe is still attached to Exchange.Probe,
+// where observers (e.g. trace capture into schema v2) pick it up; when
+// non-nil, fn is called synchronously with each probe before observers
+// run and must not retain it without Clone.
+func WithProbe(every int, fn func(*Probe)) Option {
+	return func(c *config) error {
+		if every < 1 {
+			return &ConfigError{Option: "WithProbe", Reason: fmt.Sprintf("sampling interval %d must be >= 1", every)}
+		}
+		c.probeEvery = every
+		c.probeFn = fn
 		return nil
 	}
 }

@@ -1,0 +1,169 @@
+package cos
+
+import (
+	icos "cos/internal/cos"
+	"cos/internal/dsp"
+	"cos/internal/phy"
+)
+
+// Stage identifies one timed section of Link.Send's pipeline. Every
+// exchange records the nanoseconds spent in each stage (Exchange.StageNS),
+// and the same spans feed per-stage latency histograms
+// (cos_link_stage_<name>_seconds) on the metrics registry.
+type Stage int
+
+const (
+	// StageTxEncode covers the sender: FCS, scramble/encode/interleave/map,
+	// silence embedding, and IFFT+CP sample generation.
+	StageTxEncode Stage = iota
+	// StageChannel covers the TDL channel, noise, and interference.
+	StageChannel
+	// StageFrontEnd covers the receiver front end: FFTs, channel estimate,
+	// pilot-aided noise estimate, SNR measurement.
+	StageFrontEnd
+	// StageDetect covers energy detection of silence symbols.
+	StageDetect
+	// StageControlDecode covers interval extraction and control-bit
+	// decoding from the detected silence mask.
+	StageControlDecode
+	// StageEVD covers the erasure Viterbi decode: demap, deinterleave,
+	// depuncture, Viterbi, descramble, FCS check.
+	StageEVD
+	// StageFeedback covers the receiver's EVM recomputation, subcarrier
+	// selection, and (with WithExplicitFeedback) the reverse-channel frame.
+	StageFeedback
+
+	// StageCount is the number of stages; it is not itself a stage.
+	StageCount
+)
+
+var stageNames = [StageCount]string{
+	"tx_encode", "channel", "rx_frontend", "detect",
+	"control_decode", "evd_decode", "feedback",
+}
+
+// String returns the stage's snake_case name as used in metric names and
+// the trace schema's stage_ns keys.
+func (s Stage) String() string {
+	if s < 0 || s >= StageCount {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// StageNames returns the names of all pipeline stages in Stage order.
+func StageNames() []string {
+	return append([]string(nil), stageNames[:]...)
+}
+
+// Probe is a deep PHY introspection sample: the per-subcarrier state the
+// paper's Figs. 5-7 are built from, captured from inside one exchange.
+// Probes are expensive (they re-demodulate the whole packet against the
+// transmitted grid), so WithProbe samples them every nth exchange rather
+// than on every packet.
+type Probe struct {
+	// Seq is the exchange's 0-based index on its link.
+	Seq int
+	// NumSymbols is the payload OFDM symbol count; flattened positions
+	// below are symbol-major (pos = symbol*48 + subcarrier).
+	NumSymbols int
+	// EVM is the per-data-subcarrier EVM of Eq. (1), a fraction (48 values).
+	EVM []float64
+	// ErrorVectors is the mean error-vector magnitude per data subcarrier:
+	// the D(t) entries of Eq. (2).
+	ErrorVectors []float64
+	// SubcarrierErrorCounts counts demodulation symbol errors per data
+	// subcarrier (erased positions excluded) — the Fig. 6(b) histogram.
+	SubcarrierErrorCounts []int
+	// SubcarrierSymbols counts compared symbols per data subcarrier.
+	SubcarrierSymbols []int
+	// SymbolErrorPositions are the flattened positions of every symbol
+	// error — the x-axis of Fig. 6(a), whose ~48-periodicity exposes the
+	// weak subcarriers.
+	SymbolErrorPositions []int
+	// ErasurePositions are the flattened positions the energy detector
+	// declared silent (erased before the Viterbi decoder).
+	ErasurePositions []int
+	// DecoderInputBitErrors / DecoderInputBits give the hard-decision BER
+	// on the coded bits entering the decoder (Fig. 3).
+	DecoderInputBitErrors int
+	DecoderInputBits      int
+	// ControlSubcarriers is the control set the detector scanned; the two
+	// detector slices below are indexed parallel to it.
+	ControlSubcarriers []int
+	// DetectorThresholds is the adaptive post-FFT energy threshold the
+	// detector used on each control subcarrier.
+	DetectorThresholds []float64
+	// DetectorEnergyRatios is, per control subcarrier, the mean raw bin
+	// energy across payload symbols divided by that subcarrier's threshold:
+	// how much margin the detector had (values near 1 mean the silent/active
+	// populations are hard to separate).
+	DetectorEnergyRatios []float64
+	// NoiseVar is the pilot-aided post-FFT noise variance estimate eta.
+	NoiseVar float64
+}
+
+// Clone returns a deep copy of the probe.
+func (p *Probe) Clone() *Probe {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.EVM = append([]float64(nil), p.EVM...)
+	cp.ErrorVectors = append([]float64(nil), p.ErrorVectors...)
+	cp.SubcarrierErrorCounts = append([]int(nil), p.SubcarrierErrorCounts...)
+	cp.SubcarrierSymbols = append([]int(nil), p.SubcarrierSymbols...)
+	cp.SymbolErrorPositions = append([]int(nil), p.SymbolErrorPositions...)
+	cp.ErasurePositions = append([]int(nil), p.ErasurePositions...)
+	cp.ControlSubcarriers = append([]int(nil), p.ControlSubcarriers...)
+	cp.DetectorThresholds = append([]float64(nil), p.DetectorThresholds...)
+	cp.DetectorEnergyRatios = append([]float64(nil), p.DetectorEnergyRatios...)
+	return &cp
+}
+
+// buildProbe assembles a Probe from one exchange's transmit packet and
+// front end. erased may be nil (data-only packet); hard may be nil.
+func buildProbe(ex *Exchange, pkt *phy.TxPacket, fe *phy.FrontEnd, erased [][]bool, hard []byte, det icos.Detector, ctrlSCs []int) (*Probe, error) {
+	d, err := phy.Diagnose(pkt, fe, erased, hard)
+	if err != nil {
+		return nil, err
+	}
+	p := &Probe{
+		Seq:                   ex.Seq,
+		NumSymbols:            fe.NumSymbols(),
+		EVM:                   append([]float64(nil), d.EVM[:]...),
+		ErrorVectors:          append([]float64(nil), d.ErrorVectors[:]...),
+		SubcarrierErrorCounts: append([]int(nil), d.SubcarrierErrorCounts[:]...),
+		SubcarrierSymbols:     append([]int(nil), d.SymbolsPerSubcarrier[:]...),
+		SymbolErrorPositions:  d.ErrorPositions(),
+		ErasurePositions:      phy.FlattenMask(erased),
+		DecoderInputBitErrors: d.DecoderInputBitErrors,
+		DecoderInputBits:      d.DecoderInputBits,
+		ControlSubcarriers:    append([]int(nil), ctrlSCs...),
+		NoiseVar:              fe.NoiseVar,
+	}
+	p.DetectorThresholds = make([]float64, len(ctrlSCs))
+	p.DetectorEnergyRatios = make([]float64, len(ctrlSCs))
+	for i, sc := range ctrlSCs {
+		th, err := det.Threshold(fe, sc)
+		if err != nil {
+			return nil, err
+		}
+		var energy float64
+		for s := 0; s < fe.NumSymbols(); s++ {
+			y, err := fe.Bins[s].DataValue(sc)
+			if err != nil {
+				return nil, err
+			}
+			energy += dsp.MagSq(y)
+		}
+		if n := fe.NumSymbols(); n > 0 {
+			energy /= float64(n)
+		}
+		p.DetectorThresholds[i] = th
+		if th > 0 {
+			p.DetectorEnergyRatios[i] = energy / th
+		}
+	}
+	return p, nil
+}
