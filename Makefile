@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -21,13 +21,17 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The pre-merge gate: compile, vet, formatting, quick tests, and the
-# parallel engine's determinism/cancellation tests under the race
-# detector (the parallel tests exercise workers 2, 4 and 7 internally).
+# The pre-merge gate: compile, vet, formatting, quick tests, the pipeline
+# refactor's byte-equality + steady-state alloc guards, the node wiring
+# under the race detector, and the parallel engine's determinism/
+# cancellation tests under the race detector (the parallel tests exercise
+# workers 2, 4 and 7 internally).
 ci: build vet
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test -short ./...
+	$(GO) test -run 'TestPipelineGolden|TestLinkSendSteadyStateAllocs|TestStandaloneNodesMatchLink' .
+	$(GO) test -race -run 'TestPipelineNodesRace|TestStandaloneNodesMatchLink' .
 	$(GO) test -race -run 'TestParallelMatchesSerial|TestRunnerCancellation' ./internal/experiments/
 
 bench:
@@ -45,6 +49,12 @@ bench-parallel:
 # sampled-probe overhead stays within the 2% budget.
 bench-trace:
 	$(GO) test -run TestWriteBenchTraceReport -bench-trace-out BENCH_trace.json -v .
+
+# Regenerate BENCH_pipeline.json: measures a steady-state Link.Send
+# (ns/op, B/op, allocs/op) on the staged node pipeline and compares it to
+# the frozen pre-split baseline re-measured on the same container.
+bench-pipeline:
+	$(GO) test -run TestWriteBenchPipelineReport -bench-pipeline-out BENCH_pipeline.json -v .
 
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:

@@ -35,6 +35,10 @@ var benchParallelOut = flag.String("bench-parallel-out", "", "write the parallel
 // points it at BENCH_trace.json.
 var benchTraceOut = flag.String("bench-trace-out", "", "write the span/probe overhead report to this JSON file")
 
+// benchPipelineOut enables TestWriteBenchPipelineReport; `make
+// bench-pipeline` points it at BENCH_pipeline.json.
+var benchPipelineOut = flag.String("bench-pipeline-out", "", "write the pipeline scratch-reuse report to this JSON file")
+
 // benchScale shrinks experiment sample sizes so the full benchmark suite
 // completes in minutes; shapes (who wins, where crossovers fall) persist.
 const benchScale = 0.05
@@ -171,6 +175,70 @@ func TestWriteBenchParallelReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s (gomaxprocs=%d)", *benchParallelOut, workers)
+}
+
+// TestWriteBenchPipelineReport records the cost of one steady-state
+// Link.Send before and after the TX/Channel/RX node split with per-node
+// scratch arenas. The "after" numbers are measured live; the "before"
+// numbers are frozen from the last pre-split commit, re-measured on this
+// container so both sides saw the same hardware.
+func TestWriteBenchPipelineReport(t *testing.T) {
+	if *benchPipelineOut == "" {
+		t.Skip("set -bench-pipeline-out to write the report")
+	}
+	type metrics struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		BytesPerOp  int64 `json:"bytes_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	}
+	// BenchmarkLinkExchange at commit 3831f84 (monolithic Link.Send,
+	// allocating PHY helpers), `go test -bench BenchmarkLinkExchange$
+	// -benchtime 30x` on this container.
+	before := metrics{NsPerOp: 6966938, BytesPerOp: 2067999, AllocsPerOp: 9168}
+	res := testing.Benchmark(func(b *testing.B) { runLinkExchange(b) })
+	after := metrics{
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	report := struct {
+		GeneratedBy    string  `json:"generated_by"`
+		GoMaxProcs     int     `json:"gomaxprocs"`
+		NumCPU         int     `json:"num_cpu"`
+		Methodology    string  `json:"methodology"`
+		Benchmark      string  `json:"benchmark"`
+		Before         metrics `json:"before"`
+		After          metrics `json:"after"`
+		Speedup        float64 `json:"speedup"`
+		AllocReduction float64 `json:"alloc_reduction"`
+	}{
+		GeneratedBy: "make bench-pipeline",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Methodology: "Both sides run BenchmarkLinkExchange: a warmed Link at 20 dB " +
+			"(seed 6) sending 1024-byte data packets with adaptive-budget control " +
+			"bits, i.e. the full TX -> channel -> RX -> feedback loop per op. " +
+			"'before' is frozen from the last commit before the node split, " +
+			"re-measured on this same container rather than copied from older " +
+			"hardware; 'after' is measured live by this test, so it drifts with " +
+			"machine load while allocs_per_op is exact and machine-independent. " +
+			"The remaining after-allocations are the returned Exchange and its " +
+			"copied-out result slices, which Send must not alias to scratch.",
+		Benchmark:      "LinkExchange (1024-byte data, adaptive control bits, SNR 20 dB, seed 6)",
+		Before:         before,
+		After:          after,
+		Speedup:        float64(before.NsPerOp) / float64(after.NsPerOp),
+		AllocReduction: 1 - float64(after.AllocsPerOp)/float64(before.AllocsPerOp),
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchPipelineOut, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%.2fx faster, %.1f%% fewer allocs)", *benchPipelineOut,
+		report.Speedup, 100*report.AllocReduction)
 }
 
 // --- Paper figures -------------------------------------------------------

@@ -1,0 +1,95 @@
+package cos
+
+import (
+	"math/rand"
+
+	"cos/internal/channel"
+	"cos/internal/phy"
+)
+
+// Channel is the propagation node between a Transmitter and a Receiver: a
+// tapped-delay-line indoor channel plus AWGN at the configured SNR and the
+// optional pulse interferer. It owns the link's noise RNG, so forward
+// (Transmit) and reverse (Reverse, for explicit feedback) traffic draw
+// from one stream exactly as a reciprocal channel should. Received sample
+// buffers are scratch, valid until the next call of the same method. A
+// Channel is not safe for concurrent use.
+type Channel struct {
+	cfg     config
+	tdl     *channel.TDL
+	rng     *rand.Rand
+	metrics *linkMetrics
+
+	taps []complex128
+	fwd  []complex128
+	rev  []complex128
+}
+
+// NewChannel builds a standalone channel node from link options. Inside a
+// Link the channel is wired up by NewLink.
+func NewChannel(opts ...Option) (*Channel, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	m := newLinkMetrics(cfg.metrics)
+	return newChannelNode(cfg, &m)
+}
+
+func newChannelNode(cfg config, m *linkMetrics) (*Channel, error) {
+	tdl, err := cfg.position.NewVariant(cfg.mobile, cfg.variant)
+	if err != nil {
+		return nil, err
+	}
+	return &Channel{
+		cfg:     cfg,
+		tdl:     tdl,
+		rng:     rand.New(rand.NewSource(cfg.seed)),
+		metrics: m,
+	}, nil
+}
+
+// Transmit propagates a frame's samples through the channel at simulation
+// time now: TDL convolution, AWGN scaled to the configured SNR, and the
+// pulse interferer if one is configured. It returns the received samples
+// (scratch, valid until the next Transmit) and the channel-sounder
+// (ground truth) SNR in dB.
+func (c *Channel) Transmit(samples []complex128, now float64) ([]complex128, float64, error) {
+	sp := c.metrics.span(StageChannel)
+	// Taps are evaluated once and reused for the frequency response and the
+	// convolution; tap evaluation draws no randomness, so this matches
+	// separate FrequencyResponse/Apply calls bit for bit.
+	c.taps = c.tdl.TapsInto(c.taps, now)
+	h := channel.FrequencyResponseFrom(c.taps)
+	noiseVar, err := phy.NoiseVarForActualSNR(h, c.cfg.snrDB)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.fwd = channel.ApplyTo(c.fwd, samples, c.taps, noiseVar, c.rng)
+	if c.cfg.interferer != nil {
+		if _, err := c.cfg.interferer.Apply(c.fwd, c.rng); err != nil {
+			return nil, 0, err
+		}
+	}
+	actual, err := phy.ActualSNRdB(h, noiseVar)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp.End()
+	return c.fwd, actual, nil
+}
+
+// Reverse carries an explicit-feedback frame back over the same channel
+// (reciprocity). The interferer does not apply — feedback frames are
+// ACK-sized and ride the reverse direction. The returned samples are
+// scratch, valid until the next Reverse.
+func (c *Channel) Reverse(frame []complex128, now float64) ([]complex128, error) {
+	c.taps = c.tdl.TapsInto(c.taps, now)
+	h := channel.FrequencyResponseFrom(c.taps)
+	noiseVar, err := phy.NoiseVarForActualSNR(h, c.cfg.snrDB)
+	if err != nil {
+		return nil, err
+	}
+	c.rev = channel.ApplyTo(c.rev, frame, c.taps, noiseVar, c.rng)
+	return c.rev, nil
+}

@@ -40,10 +40,36 @@ type Viterbi struct {
 	Terminated bool
 }
 
+// decision records the transition that won a trellis state at one step:
+// bits 0-5 hold the predecessor state, bit 6 the input bit. Predecessor
+// recovery cannot re-derive the previous state from (ns, bit) alone because
+// the trellis shift drops the LSB, so it is stored explicitly.
+type decision uint8
+
+// ViterbiScratch holds the decoder's working storage — the two path-metric
+// columns, the decision matrix, and the output bits — so repeated decodes
+// reuse one arena. The zero value is ready to use; arrays grow on demand and
+// are retained between calls. A scratch must not be shared across concurrent
+// decodes, and the bits returned by DecodeInto are valid only until the next
+// decode with the same scratch.
+type ViterbiScratch struct {
+	cur, next []float64
+	decisions []decision
+	out       []byte
+}
+
 // Decode returns the maximum-likelihood information bits for the given
 // metrics. The returned slice has len(metrics)/2 bits, including any tail
 // bits the encoder appended.
 func (v *Viterbi) Decode(metrics []float64) ([]byte, error) {
+	return v.DecodeInto(nil, metrics)
+}
+
+// DecodeInto is Decode using s as working storage; the returned bits alias
+// s and are valid until the next decode with the same scratch. A nil s
+// decodes into fresh storage, making DecodeInto(nil, m) identical to
+// Decode(m).
+func (v *Viterbi) DecodeInto(s *ViterbiScratch, metrics []float64) ([]byte, error) {
 	if len(metrics)%2 != 0 {
 		return nil, fmt.Errorf("coding: metric count %d is odd; rate-1/2 code needs pairs", len(metrics))
 	}
@@ -66,7 +92,7 @@ func (v *Viterbi) Decode(metrics []float64) ([]byte, error) {
 		}
 		erased += inc
 	}
-	out, err := v.decode(metrics)
+	out, err := v.decode(s, metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -77,26 +103,29 @@ func (v *Viterbi) Decode(metrics []float64) ([]byte, error) {
 	return out, nil
 }
 
-func (v *Viterbi) decode(metrics []float64) ([]byte, error) {
+func (v *Viterbi) decode(s *ViterbiScratch, metrics []float64) ([]byte, error) {
+	if s == nil {
+		s = &ViterbiScratch{}
+	}
 	// steps is recomputed from len(metrics) rather than passed in so the
 	// compiler can prove 2*t+1 < len(metrics) and drop the bounds checks
 	// in the trellis loop.
 	steps := len(metrics) / 2
 	negInf := math.Inf(-1)
-	cur := make([]float64, NumStates)
-	next := make([]float64, NumStates)
-	for s := 1; s < NumStates; s++ {
-		cur[s] = negInf // encoder starts in state 0
+	s.cur = growFloat64(s.cur, NumStates)
+	s.next = growFloat64(s.next, NumStates)
+	cur, next := s.cur, s.next
+	cur[0] = 0 // encoder starts in state 0
+	for st := 1; st < NumStates; st++ {
+		cur[st] = negInf
 	}
 
 	// decisions[t*NumStates + ns] records the input bit whose transition
-	// won state ns at step t; predecessor recovery re-derives the previous
-	// state from (ns, bit) since the trellis shift structure is invertible:
-	// ns = (bit<<6 | prev) >> 1  =>  prev = (ns<<1 | lostBit) & 0x3F with
-	// bit = ns>>5. That inversion is ambiguous in the lost LSB, so we store
-	// the predecessor state directly in 6 bits alongside the bit.
-	type decision uint8 // bits 0-5: predecessor state, bit 6: input bit
-	decisions := make([]decision, steps*NumStates)
+	// won state ns at step t, together with the predecessor state.
+	if cap(s.decisions) < steps*NumStates {
+		s.decisions = make([]decision, steps*NumStates)
+	}
+	decisions := s.decisions[:steps*NumStates]
 
 	for t := 0; t < steps; t++ {
 		mA := metrics[2*t]
@@ -137,7 +166,8 @@ func (v *Viterbi) decode(metrics []float64) ([]byte, error) {
 		return nil, fmt.Errorf("coding: no surviving path to end state %d", end)
 	}
 
-	out := make([]byte, steps)
+	s.out = growBytes(s.out, steps)
+	out := s.out
 	state := end
 	for t := steps - 1; t >= 0; t-- {
 		d := decisions[t*NumStates+state]

@@ -1,0 +1,261 @@
+package cos
+
+import (
+	"fmt"
+
+	"cos/internal/dsp"
+	"cos/internal/ofdm"
+	"cos/internal/phy"
+)
+
+// Scratch-reuse variants of the CoS embed/extract chain. Each XxxInto
+// function writes into a caller-owned destination, growing it only when its
+// capacity is insufficient, and computes exactly what its allocating
+// counterpart does. Destinations must not alias inputs.
+
+// GrowMask reshapes mask to numSymbols all-false rows of ofdm.NumData
+// entries, reusing row storage where possible.
+func GrowMask(mask [][]bool, numSymbols int) [][]bool {
+	if cap(mask) < numSymbols {
+		grown := make([][]bool, numSymbols)
+		copy(grown, mask[:cap(mask)])
+		mask = grown
+	}
+	mask = mask[:numSymbols]
+	for i := range mask {
+		if cap(mask[i]) < ofdm.NumData {
+			mask[i] = make([]bool, ofdm.NumData)
+			continue
+		}
+		mask[i] = mask[i][:ofdm.NumData]
+		for j := range mask[i] {
+			mask[i][j] = false
+		}
+	}
+	return mask
+}
+
+// MaskCount counts the true entries of a mask over the given control
+// subcarriers — len(MaskPositions(mask, ctrlSCs)) without building the list.
+func MaskCount(mask [][]bool, ctrlSCs []int) int {
+	n := 0
+	for s := range mask {
+		for _, sc := range ctrlSCs {
+			if mask[s][sc] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EncodeIntervalsInto is EncodeIntervals writing into dst.
+func EncodeIntervalsInto(dst []int, controlBits []byte, k int) ([]int, error) {
+	if k < 1 || k > 16 {
+		return nil, fmt.Errorf("cos: bits per interval %d out of range [1,16]", k)
+	}
+	if len(controlBits)%k != 0 {
+		return nil, fmt.Errorf("cos: control length %d is not a multiple of k=%d", len(controlBits), k)
+	}
+	n := len(controlBits) / k
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		v := 0
+		for j := 0; j < k; j++ {
+			b := controlBits[i*k+j]
+			if b > 1 {
+				return nil, fmt.Errorf("cos: element %d = %d is not a bit", i*k+j, b)
+			}
+			v = v<<1 | int(b)
+		}
+		dst[i] = v
+	}
+	return dst, nil
+}
+
+// DecodeIntervalsInto is DecodeIntervals writing into dst. Like
+// DecodeIntervals, the result is non-nil even when intervals is empty.
+func DecodeIntervalsInto(dst []byte, intervals []int, k int) ([]byte, error) {
+	if k < 1 || k > 16 {
+		return nil, fmt.Errorf("cos: bits per interval %d out of range [1,16]", k)
+	}
+	n := len(intervals) * k
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	for i, v := range intervals {
+		if v < 0 || v >= 1<<k {
+			return nil, fmt.Errorf("cos: interval %d out of range [0,%d]", v, 1<<k-1)
+		}
+		for j := 0; j < k; j++ {
+			dst[i*k+j] = byte((v >> (k - 1 - j)) & 1)
+		}
+	}
+	return dst, nil
+}
+
+// LayoutInto is Layout writing into dst.
+func LayoutInto(dst []Pos, intervals []int, numSymbols int, ctrlSCs []int) ([]Pos, error) {
+	if err := validateCtrlSCs(ctrlSCs); err != nil {
+		return nil, err
+	}
+	if numSymbols < 1 {
+		return nil, fmt.Errorf("cos: packet has %d symbols", numSymbols)
+	}
+	capacity := numSymbols * len(ctrlSCs)
+	need := 1
+	for _, v := range intervals {
+		if v < 0 {
+			return nil, fmt.Errorf("cos: negative interval %d", v)
+		}
+		need += v + 1
+	}
+	if need > capacity {
+		return nil, fmt.Errorf("cos: message needs %d control positions, packet offers %d (%d symbols x %d subcarriers)",
+			need, capacity, numSymbols, len(ctrlSCs))
+	}
+	n := len(intervals) + 1
+	if cap(dst) < n {
+		dst = make([]Pos, n)
+	}
+	dst = dst[:n]
+	idx := 0
+	dst[0] = Pos{Sym: 0, SC: ctrlSCs[0]} // start marker
+	for i, v := range intervals {
+		idx += v + 1
+		dst[i+1] = Pos{Sym: idx / len(ctrlSCs), SC: ctrlSCs[idx%len(ctrlSCs)]}
+	}
+	return dst, nil
+}
+
+// InsertSilencesInto is InsertSilences reusing mask as the returned erasure
+// mask (reshaped to the grid's symbol count).
+func InsertSilencesInto(mask [][]bool, grid *ofdm.Grid, positions []Pos) ([][]bool, error) {
+	mask = GrowMask(mask, grid.NumSymbols())
+	for _, p := range positions {
+		if err := grid.Set(p.Sym, p.SC, 0); err != nil {
+			return nil, fmt.Errorf("cos: silence at %+v: %w", p, err)
+		}
+		mask[p.Sym][p.SC] = true
+	}
+	return mask, nil
+}
+
+// ExtractIntervalsInto is ExtractIntervals writing into dst. Unlike
+// ExtractIntervals (which returns nil for a silence-free mask), the result
+// is dst resliced to the interval count, so it may be empty and non-nil;
+// callers that only inspect length and contents see identical behaviour.
+func ExtractIntervalsInto(dst []int, mask [][]bool, ctrlSCs []int) ([]int, error) {
+	if err := validateCtrlSCs(ctrlSCs); err != nil {
+		return nil, err
+	}
+	intervals := dst[:0]
+	started := false
+	gap := 0
+	for s := range mask {
+		if len(mask[s]) != ofdm.NumData {
+			return nil, fmt.Errorf("cos: mask row %d has %d entries, want %d", s, len(mask[s]), ofdm.NumData)
+		}
+		for _, sc := range ctrlSCs {
+			silent := mask[s][sc]
+			if !started {
+				if silent {
+					started = true
+					gap = 0
+				}
+				continue
+			}
+			if silent {
+				intervals = append(intervals, gap)
+				gap = 0
+			} else {
+				gap++
+			}
+		}
+	}
+	return intervals, nil
+}
+
+// DetectMaskInto is Detector.DetectMask reusing mask as the returned
+// detected-silence mask. Thresholds live on the stack, so a warm mask makes
+// detection allocation-free.
+func (d Detector) DetectMaskInto(mask [][]bool, fe *phy.FrontEnd, ctrlSCs []int) ([][]bool, error) {
+	if err := validateCtrlSCs(ctrlSCs); err != nil {
+		return nil, err
+	}
+	var ths [ofdm.NumData]float64
+	for i, sc := range ctrlSCs {
+		th, err := d.Threshold(fe, sc)
+		if err != nil {
+			return nil, err
+		}
+		ths[i] = th
+	}
+	mask = GrowMask(mask, fe.NumSymbols())
+	silent := 0
+	for s := 0; s < fe.NumSymbols(); s++ {
+		for i, sc := range ctrlSCs {
+			y, err := fe.Bins[s].DataValue(sc)
+			if err != nil {
+				return nil, err
+			}
+			if dsp.MagSq(y) < ths[i] {
+				mask[s][sc] = true
+				silent++
+			}
+		}
+	}
+	mDetectorScans.Add(uint64(fe.NumSymbols() * len(ctrlSCs)))
+	mDetectorSilences.Add(uint64(silent))
+	return mask, nil
+}
+
+// FrameControlInto is FrameControl writing into dst.
+func FrameControlInto(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFramedPayloadBits {
+		return nil, fmt.Errorf("cos: control payload %d bits exceeds the %d-bit framing limit", len(payload), MaxFramedPayloadBits)
+	}
+	for i, b := range payload {
+		if b > 1 {
+			return nil, fmt.Errorf("cos: payload element %d = %d is not a bit", i, b)
+		}
+	}
+	n := 8 + len(payload) + 8
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < 8; i++ {
+		dst[i] = byte((len(payload) >> (7 - i)) & 1)
+	}
+	copy(dst[8:], payload)
+	crc := crc8Bits(dst[:8+len(payload)])
+	for i := 0; i < 8; i++ {
+		dst[8+len(payload)+i] = (crc >> (7 - i)) & 1
+	}
+	return dst, nil
+}
+
+// PadToIntervalInto is PadToInterval writing into dst.
+func PadToIntervalInto(dst, bits []byte, k int) ([]byte, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cos: k = %d", k)
+	}
+	n := len(bits)
+	if k > 1 && n%k != 0 {
+		n += k - n%k
+	}
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	copy(dst, bits)
+	for i := len(bits); i < n; i++ {
+		dst[i] = 0
+	}
+	return dst, nil
+}

@@ -48,6 +48,31 @@ func IFFT(x []complex128) ([]complex128, error) {
 	return out, nil
 }
 
+// FFTInto computes the forward DFT of x into dst, leaving x unchanged.
+// len(dst) must equal len(x), which must be a positive power of two; dst
+// and x must not overlap unless they are the same slice.
+func FFTInto(dst, x []complex128) error {
+	if len(dst) != len(x) {
+		return fmt.Errorf("dsp: FFT destination length %d != input length %d", len(dst), len(x))
+	}
+	if len(x) > 0 && &dst[0] != &x[0] {
+		copy(dst, x)
+	}
+	return FFTInPlace(dst)
+}
+
+// IFFTInto computes the inverse DFT of x into dst, leaving x unchanged.
+// Same constraints as FFTInto.
+func IFFTInto(dst, x []complex128) error {
+	if len(dst) != len(x) {
+		return fmt.Errorf("dsp: IFFT destination length %d != input length %d", len(dst), len(x))
+	}
+	if len(x) > 0 && &dst[0] != &x[0] {
+		copy(dst, x)
+	}
+	return IFFTInPlace(dst)
+}
+
 // FFTInPlace computes the forward DFT of x in place.
 // len(x) must be a positive power of two.
 func FFTInPlace(x []complex128) error {

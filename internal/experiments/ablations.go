@@ -61,9 +61,10 @@ func AblationEVD(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	pts := make([]point, len(budgets))
 	err = pool.ForEach(ctx, cfg.Workers, len(budgets), cfg.Seed, func(i int, rng *rand.Rand) error {
 		b := budgets[i]
+		scr := &trialScratch{}
 		ctrlSCs := fig10CtrlSCs
 		if b > 0 {
-			if sel, err := selectCtrlSCsForBudget(ch, 0, snr, mode, nSym, b, icos.DefaultBitsPerInterval, rng); err == nil {
+			if sel, err := selectCtrlSCsForBudget(scr, ch, 0, snr, mode, nSym, b, icos.DefaultBitsPerInterval, rng); err == nil {
 				ctrlSCs = sel
 			}
 		}
@@ -77,7 +78,7 @@ func AblationEVD(ctx context.Context, cfg AblationConfig) (*Result, error) {
 				k: icos.DefaultBitsPerInterval, ctrlSCs: ctrlSCs,
 				detector: icos.Detector{Scheme: mode.Modulation},
 			}
-			r, err := runCoSTrial(ch, 0, snr, trial, rng)
+			r, err := runCoSTrial(scr, ch, 0, snr, trial, rng)
 			if err != nil {
 				continue
 			}
@@ -86,7 +87,7 @@ func AblationEVD(ctx context.Context, cfg AblationConfig) (*Result, error) {
 			}
 			// Ignorant arm: decode without any erasure mask.
 			trial.ignoreErasures = true
-			r, err = runCoSTrial(ch, 0, snr, trial, rng)
+			r, err = runCoSTrial(scr, ch, 0, snr, trial, rng)
 			if err != nil {
 				continue
 			}
@@ -188,6 +189,7 @@ func AblationPlacement(ctx context.Context, cfg AblationConfig) (*Result, error)
 	err = pool.ForEach(ctx, cfg.Workers, len(prrs), cfg.Seed, func(i int, rng *rand.Rand) error {
 		pl := placements[i/len(budgets)]
 		b := budgets[i%len(budgets)]
+		scr := &trialScratch{}
 		ok := 0
 		for p := 0; p < packets; p++ {
 			if err := ctx.Err(); err != nil {
@@ -203,7 +205,7 @@ func AblationPlacement(ctx context.Context, cfg AblationConfig) (*Result, error)
 				ctrlSCs: scs, placement: positions, genieMask: true,
 				detector: icos.Detector{Scheme: mode.Modulation},
 			}
-			r, err := runCoSTrial(ch, 0, snr, trial, rng)
+			r, err := runCoSTrial(scr, ch, 0, snr, trial, rng)
 			if err != nil {
 				continue
 			}
@@ -274,11 +276,12 @@ func AblationThreshold(ctx context.Context, cfg AblationConfig) (*Result, error)
 	// The fixed threshold is calibrated once at the middle SNR, then used
 	// everywhere — what a non-adaptive implementation would do.
 	preludeRNG := pool.TaskRNG(cfg.Seed, 0)
-	midActual, err := calibrateActualSNR(ch, 0, mode, 12, preludeRNG)
+	scr := &trialScratch{} // serial prelude scratch; pool tasks build their own
+	midActual, err := calibrateActualSNR(scr, ch, 0, mode, 12, preludeRNG)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := probe(ch, 0, mode, 256, midActual, preludeRNG)
+	pr, err := probe(scr, ch, 0, mode, 256, midActual, preludeRNG)
 	if err != nil {
 		return nil, err
 	}
@@ -292,13 +295,14 @@ func AblationThreshold(ctx context.Context, cfg AblationConfig) (*Result, error)
 			return nil // index 0 is the serial calibration prelude above
 		}
 		si := i - 1
-		actual, err := calibrateActualSNR(ch, 0, mode, snrs[si], rng)
+		scr := &trialScratch{}
+		actual, err := calibrateActualSNR(scr, ch, 0, mode, snrs[si], rng)
 		if err != nil {
 			return err
 		}
 		// Both arms use the same per-SNR subcarrier selection so the
 		// comparison isolates the detector's threshold policy.
-		ctrlSCs, err := selectCtrlSCsForBudget(ch, 0, actual, mode, nSym, 12, icos.DefaultBitsPerInterval, rng)
+		ctrlSCs, err := selectCtrlSCsForBudget(scr, ch, 0, actual, mode, nSym, 12, icos.DefaultBitsPerInterval, rng)
 		if err != nil {
 			ctrlSCs = fig10CtrlSCs
 		}
@@ -312,11 +316,11 @@ func AblationThreshold(ctx context.Context, cfg AblationConfig) (*Result, error)
 				k: icos.DefaultBitsPerInterval, ctrlSCs: ctrlSCs,
 			}
 			base.detector = icos.Detector{Scheme: mode.Modulation}
-			if r, err := runCoSTrial(ch, 0, actual, base, rng); err == nil && r.ctrlOK {
+			if r, err := runCoSTrial(scr, ch, 0, actual, base, rng); err == nil && r.ctrlOK {
 				okA++
 			}
 			base.detector = icos.Detector{FixedThreshold: fixedTh}
-			if r, err := runCoSTrial(ch, 0, actual, base, rng); err == nil && r.ctrlOK {
+			if r, err := runCoSTrial(scr, ch, 0, actual, base, rng); err == nil && r.ctrlOK {
 				okF++
 			}
 		}
@@ -366,11 +370,12 @@ func ControlAccuracy(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	type point struct{ ctrl, data float64 }
 	pts := make([]point, len(snrs))
 	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
-		actual, err := calibrateActualSNR(ch, 0, mode, snrs[i], rng)
+		scr := &trialScratch{}
+		actual, err := calibrateActualSNR(scr, ch, 0, mode, snrs[i], rng)
 		if err != nil {
 			return err
 		}
-		ctrlSCs, err := selectCtrlSCsForBudget(ch, 0, actual, mode, nSym, 12, icos.DefaultBitsPerInterval, rng)
+		ctrlSCs, err := selectCtrlSCsForBudget(scr, ch, 0, actual, mode, nSym, 12, icos.DefaultBitsPerInterval, rng)
 		if err != nil {
 			ctrlSCs = fig10CtrlSCs
 		}
@@ -379,7 +384,7 @@ func ControlAccuracy(ctx context.Context, cfg AblationConfig) (*Result, error) {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			r, err := runCoSTrial(ch, 0, actual, cosTrialConfig{
+			r, err := runCoSTrial(scr, ch, 0, actual, cosTrialConfig{
 				mode: mode, psduLen: 1024, silences: 12,
 				k: icos.DefaultBitsPerInterval, ctrlSCs: ctrlSCs,
 				detector: icos.Detector{Scheme: mode.Modulation},
@@ -445,7 +450,8 @@ func AblationQuantization(ctx context.Context, cfg AblationConfig) (*Result, err
 
 	prrs := make([][]float64, len(snrs))
 	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
-		actual, err := calibrateActualSNR(ch, 0, mode, snrs[i], rng)
+		scr := &trialScratch{}
+		actual, err := calibrateActualSNR(scr, ch, 0, mode, snrs[i], rng)
 		if err != nil {
 			return err
 		}
@@ -456,7 +462,7 @@ func AblationQuantization(ctx context.Context, cfg AblationConfig) (*Result, err
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				r, err := runCoSTrial(ch, 0, actual, cosTrialConfig{
+				r, err := runCoSTrial(scr, ch, 0, actual, cosTrialConfig{
 					mode: mode, psduLen: 1024, silences: 12,
 					k: icos.DefaultBitsPerInterval, ctrlSCs: ctrlSCs,
 					detector:  icos.Detector{Scheme: mode.Modulation},

@@ -173,14 +173,15 @@ func Fig10bThreshold(ctx context.Context, cfg Fig10bConfig) (*Result, error) {
 	// Serial prelude on the index-0 task RNG: every threshold point shares
 	// this operating point, so it cannot be a pool task.
 	preludeRNG := pool.TaskRNG(cfg.Seed, 0)
-	actual, err := calibrateActualSNR(ch, 0, mode, cfg.MeasuredSNR, preludeRNG)
+	scr := &trialScratch{} // serial prelude scratch; pool tasks build their own
+	actual, err := calibrateActualSNR(scr, ch, 0, mode, cfg.MeasuredSNR, preludeRNG)
 	if err != nil {
 		return nil, err
 	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 
 	// Reference noise floor for the x axis.
-	pr, err := probe(ch, 0, mode, 256, actual, preludeRNG)
+	pr, err := probe(scr, ch, 0, mode, 256, actual, preludeRNG)
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +197,7 @@ func Fig10bThreshold(ctx context.Context, cfg Fig10bConfig) (*Result, error) {
 			return nil // index 0 is the serial prelude above
 		}
 		pi := i - 1
+		scr := &trialScratch{}
 		relDB := -15 + 40*float64(pi)/float64(cfg.Points-1)
 		th := noiseFloor * dsp.Linear(relDB)
 		var stats icos.DetectionStats
@@ -203,7 +205,7 @@ func Fig10bThreshold(ctx context.Context, cfg Fig10bConfig) (*Result, error) {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			r, err := runCoSTrial(ch, 0, actual, cosTrialConfig{
+			r, err := runCoSTrial(scr, ch, 0, actual, cosTrialConfig{
 				mode:     mode,
 				psduLen:  1024,
 				silences: 12,
@@ -293,7 +295,8 @@ func accuracySweep(ctx context.Context, cfg Fig10cConfig, interfere bool) (fp, f
 	type point struct{ fp, fn float64 }
 	pts := make([]point, len(cfg.SNRs))
 	err = pool.ForEach(ctx, cfg.Workers, len(cfg.SNRs), cfg.Seed, func(i int, rng *rand.Rand) error {
-		actual, err := calibrateActualSNR(ch, 0, mode, cfg.SNRs[i], rng)
+		scr := &trialScratch{}
+		actual, err := calibrateActualSNR(scr, ch, 0, mode, cfg.SNRs[i], rng)
 		if err != nil {
 			return err
 		}
@@ -313,7 +316,7 @@ func accuracySweep(ctx context.Context, cfg Fig10cConfig, interfere bool) (fp, f
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			r, err := runCoSTrial(ch, 0, actual, trial, rng)
+			r, err := runCoSTrial(scr, ch, 0, actual, trial, rng)
 			if err != nil {
 				return err
 			}

@@ -67,13 +67,14 @@ func Fig2SNRGap(ctx context.Context, cfg Fig2Config) (*Result, error) {
 	}
 	pts := make([]point, cfg.Variants*steps)
 	err = pool.ForEach(ctx, cfg.Workers, len(pts), cfg.Seed, func(i int, rng *rand.Rand) error {
+		scr := &trialScratch{}
 		v := i / steps
 		snr := cfg.MinSNR + float64(i%steps)*cfg.Step
 		ch, err := channel.PositionA.NewVariant(false, int64(v+1))
 		if err != nil {
 			return err
 		}
-		pr, err := probe(ch, 0, probeMode, 256, snr, rng)
+		pr, err := probe(scr, ch, 0, probeMode, 256, snr, rng)
 		if err != nil {
 			return err
 		}

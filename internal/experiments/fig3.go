@@ -47,7 +47,8 @@ func (c *Fig3Config) setDefaults() {
 // fig3BERAt measures the decoder-input BER at one target measured SNR; it
 // is the body of one point-task and draws only from its private rng.
 func fig3BERAt(ctx context.Context, ch *channel.TDL, mode phy.Mode, targetMeasured float64, packets int, rng *rand.Rand) (float64, error) {
-	actual, err := calibrateActualSNR(ch, 0, mode, targetMeasured, rng)
+	scr := &trialScratch{}
+	actual, err := calibrateActualSNR(scr, ch, 0, mode, targetMeasured, rng)
 	if err != nil {
 		return 0, err
 	}
@@ -56,7 +57,7 @@ func fig3BERAt(ctx context.Context, ch *channel.TDL, mode phy.Mode, targetMeasur
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		pr, err := probe(ch, 0, mode, 1024, actual, rng)
+		pr, err := probe(scr, ch, 0, mode, 1024, actual, rng)
 		if err != nil {
 			return 0, err
 		}

@@ -58,11 +58,12 @@ func Fig5EVM(ctx context.Context, cfg Fig5Config) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		scr := &trialScratch{}
 		for p := 0; p < packets; p++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			pr, err := probe(ch, 0, mode, 1024, cfg.SNR, rng)
+			pr, err := probe(scr, ch, 0, mode, 1024, cfg.SNR, rng)
 			if err != nil {
 				return err
 			}

@@ -79,7 +79,8 @@ func Fig6ErrorPattern(ctx context.Context, cfg Fig6Config) (*Result, error) {
 	perPacket := make([]fig6Packet, packets)
 	err = pool.ForEach(ctx, cfg.Workers, packets, cfg.Seed, func(p int, rng *rand.Rand) error {
 		t := float64(p) * 2e-3 // back-to-back traffic at 2 ms spacing
-		pr, err := probe(ch, t, mode, 1024, cfg.SNR, rng)
+		scr := &trialScratch{}
+		pr, err := probe(scr, ch, t, mode, 1024, cfg.SNR, rng)
 		if err != nil {
 			return err
 		}

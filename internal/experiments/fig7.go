@@ -63,13 +63,14 @@ func errorVectorSnapshot(ctx context.Context, ch *channel.TDL, t float64, mode p
 	if avg < 1 {
 		avg = 1
 	}
+	scr := &trialScratch{}
 	dAcc := make([]float64, ofdm.NumData)
 	evmAcc := make([]float64, ofdm.NumData)
 	for i := 0; i < avg; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		pr, err := probe(ch, t, mode, 1024, snr, rng)
+		pr, err := probe(scr, ch, t, mode, 1024, snr, rng)
 		if err != nil {
 			return nil, nil, err
 		}

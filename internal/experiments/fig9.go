@@ -81,6 +81,7 @@ func Fig9Capacity(ctx context.Context, cfg Fig9Config) (*Result, error) {
 	pts := make([]point, len(modes)*cfg.PointsPerMode)
 	err = pool.ForEach(ctx, cfg.Workers, len(pts), cfg.Seed, func(i int, rng *rand.Rand) error {
 		mi, p := i/cfg.PointsPerMode, i%cfg.PointsPerMode
+		scr := &trialScratch{}
 		mode := modes[mi]
 		// The mode's measured-SNR band: its threshold up to the next
 		// mode's (or +3 dB for the fastest).
@@ -93,11 +94,11 @@ func Fig9Capacity(ctx context.Context, cfg Fig9Config) (*Result, error) {
 		if cfg.PointsPerMode > 1 {
 			target = lo + (hi-lo)*float64(p)/float64(cfg.PointsPerMode-1)
 		}
-		actual, err := calibrateActualSNR(ch, 0, mode, target, rng)
+		actual, err := calibrateActualSNR(scr, ch, 0, mode, target, rng)
 		if err != nil {
 			return err
 		}
-		budget, err := maxBudgetAtPRR(ctx, ch, actual, mode, cfg, packets, rng)
+		budget, err := maxBudgetAtPRR(ctx, scr, ch, actual, mode, cfg, packets, rng)
 		if err != nil {
 			return err
 		}
@@ -129,13 +130,13 @@ func Fig9Capacity(ctx context.Context, cfg Fig9Config) (*Result, error) {
 
 // maxBudgetAtPRR binary-searches the largest silence budget whose PRR meets
 // the target.
-func maxBudgetAtPRR(ctx context.Context, ch *channel.TDL, actualSNR float64, mode phy.Mode, cfg Fig9Config, packets int, rng *rand.Rand) (int, error) {
+func maxBudgetAtPRR(ctx context.Context, scr *trialScratch, ch *channel.TDL, actualSNR float64, mode phy.Mode, cfg Fig9Config, packets int, rng *rand.Rand) (int, error) {
 	nSym := mode.SymbolsForPSDU(cfg.PSDULen)
 	prrOK := func(budget int) (bool, error) {
 		if budget == 0 {
 			return true, nil
 		}
-		ctrlSCs, err := selectCtrlSCsForBudget(ch, 0, actualSNR, mode, nSym, budget, icos.DefaultBitsPerInterval, rng)
+		ctrlSCs, err := selectCtrlSCsForBudget(scr, ch, 0, actualSNR, mode, nSym, budget, icos.DefaultBitsPerInterval, rng)
 		if err != nil {
 			return false, nil // no usable control subcarriers: budget unsustainable
 		}
@@ -153,7 +154,7 @@ func maxBudgetAtPRR(ctx context.Context, ch *channel.TDL, actualSNR float64, mod
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
-			r, err := runCoSTrial(ch, 0, actualSNR, trial, rng)
+			r, err := runCoSTrial(scr, ch, 0, actualSNR, trial, rng)
 			if err != nil {
 				// Oversized messages for the capacity mean the budget does
 				// not fit at all.

@@ -11,11 +11,34 @@ import (
 	"cos/internal/phy"
 )
 
+// trialScratch is the experiments' reusable working storage: the PHY
+// transmit/receive scratch arenas plus every buffer the trial harness
+// needs between packets. One scratch serves one point-task; results
+// returned by probe and runCoSTrial alias it and are valid only until its
+// next use. A nil scratch is accepted everywhere and means fresh
+// allocation (the pre-arena behaviour).
+type trialScratch struct {
+	tx       phy.TxScratch
+	rx       phy.RxScratch
+	taps     []complex128
+	samples  []complex128
+	rxBuf    []complex128
+	psdu     []byte
+	payload  []byte
+	ctrl     []byte
+	txIvals  []int
+	txPos    []icos.Pos
+	truthMsk [][]bool
+	detMsk   [][]bool
+	rxIvals  []int
+	rxBits   []byte
+}
+
 // probe pushes one known packet through ch at time t with the given true
 // SNR and returns the transmit/receive state for genie-aided measurement
 // (the experiments know the transmitted packet, exactly like the paper's
 // "fixed data packet whose symbol values are known to both the sender and
-// the receiver").
+// the receiver"). The result aliases s.
 type probeResult struct {
 	tx        *phy.TxPacket
 	fe        *phy.FrontEnd
@@ -23,24 +46,34 @@ type probeResult struct {
 	actualSNR float64
 }
 
-func probe(ch *channel.TDL, t float64, mode phy.Mode, psduLen int, actualSNR float64, rng *rand.Rand) (*probeResult, error) {
-	psdu := make([]byte, psduLen)
-	rng.Read(psdu)
-	tx, err := phy.BuildPacket(phy.TxConfig{Mode: mode}, psdu)
+func probe(s *trialScratch, ch *channel.TDL, t float64, mode phy.Mode, psduLen int, actualSNR float64, rng *rand.Rand) (*probeResult, error) {
+	if s == nil {
+		s = &trialScratch{}
+	}
+	if cap(s.psdu) < psduLen {
+		s.psdu = make([]byte, psduLen)
+	}
+	s.psdu = s.psdu[:psduLen]
+	rng.Read(s.psdu)
+	tx, err := phy.BuildPacketInto(&s.tx, phy.TxConfig{Mode: mode}, s.psdu)
 	if err != nil {
 		return nil, err
 	}
-	samples, err := tx.Samples()
+	s.samples, err = tx.SamplesInto(s.samples)
 	if err != nil {
 		return nil, err
 	}
-	h := ch.FrequencyResponse(t)
+	// Taps are evaluated once per packet (no randomness is drawn), so the
+	// frequency response and the convolution see the same realization —
+	// exactly as FrequencyResponse followed by Apply did.
+	s.taps = ch.TapsInto(s.taps, t)
+	h := channel.FrequencyResponseFrom(s.taps)
 	nv, err := phy.NoiseVarForActualSNR(h, actualSNR)
 	if err != nil {
 		return nil, err
 	}
-	rx := ch.Apply(samples, t, nv, rng)
-	fe, err := phy.RunFrontEnd(rx)
+	s.rxBuf = channel.ApplyTo(s.rxBuf, s.samples, s.taps, nv, rng)
+	fe, err := phy.RunFrontEndInto(&s.rx, s.rxBuf)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +87,7 @@ func probe(ch *channel.TDL, t float64, mode phy.Mode, psduLen int, actualSNR flo
 // calibrateActualSNR finds the true SNR that makes the receiver's measured
 // (NIC) SNR hit target on channel ch, by fixed-point iteration on the
 // measured-vs-actual offset.
-func calibrateActualSNR(ch *channel.TDL, t float64, mode phy.Mode, target float64, rng *rand.Rand) (float64, error) {
+func calibrateActualSNR(s *trialScratch, ch *channel.TDL, t float64, mode phy.Mode, target float64, rng *rand.Rand) (float64, error) {
 	actual := target
 	for iter := 0; iter < 4; iter++ {
 		// Average a few probes per step: a single packet's measured-SNR
@@ -62,7 +95,7 @@ func calibrateActualSNR(ch *channel.TDL, t float64, mode phy.Mode, target float6
 		var measured float64
 		const probes = 3
 		for i := 0; i < probes; i++ {
-			pr, err := probe(ch, t, mode, 256, actual, rng)
+			pr, err := probe(s, ch, t, mode, 256, actual, rng)
 			if err != nil {
 				return 0, err
 			}
@@ -112,12 +145,19 @@ type cosTrialResult struct {
 
 // runCoSTrial sends one FCS-protected packet with an embedded random control
 // message sized to produce exactly cfg.silences silence symbols, then runs
-// the full receive pipeline.
-func runCoSTrial(ch *channel.TDL, t, actualSNR float64, cfg cosTrialConfig, rng *rand.Rand) (*cosTrialResult, error) {
-	payload := make([]byte, cfg.psduLen-bits.FCSLen)
-	rng.Read(payload)
-	psdu := bits.AppendFCS(payload)
-	tx, err := phy.BuildPacket(phy.TxConfig{Mode: cfg.mode}, psdu)
+// the full receive pipeline, all through s's scratch arenas.
+func runCoSTrial(s *trialScratch, ch *channel.TDL, t, actualSNR float64, cfg cosTrialConfig, rng *rand.Rand) (*cosTrialResult, error) {
+	if s == nil {
+		s = &trialScratch{}
+	}
+	n := cfg.psduLen - bits.FCSLen
+	if cap(s.payload) < n {
+		s.payload = make([]byte, n)
+	}
+	s.payload = s.payload[:n]
+	rng.Read(s.payload)
+	s.psdu = bits.AppendFCSInto(s.psdu, s.payload)
+	tx, err := phy.BuildPacketInto(&s.tx, phy.TxConfig{Mode: cfg.mode}, s.psdu)
 	if err != nil {
 		return nil, err
 	}
@@ -126,41 +166,55 @@ func runCoSTrial(ch *channel.TDL, t, actualSNR float64, cfg cosTrialConfig, rng 
 	var truthMask [][]bool
 	switch {
 	case cfg.placement != nil:
-		truthMask, err = icos.InsertSilences(tx.Grid, cfg.placement)
+		s.truthMsk, err = icos.InsertSilencesInto(s.truthMsk, tx.Grid, cfg.placement)
 		if err != nil {
 			return nil, err
 		}
+		truthMask = s.truthMsk
 	case cfg.silences > 0:
 		nBits := (cfg.silences - 1) * cfg.k
 		if nBits < 0 {
 			nBits = 0
 		}
-		ctrl = make([]byte, nBits)
+		if cap(s.ctrl) < nBits {
+			s.ctrl = make([]byte, nBits)
+		}
+		ctrl = s.ctrl[:nBits]
 		for i := range ctrl {
 			ctrl[i] = byte(rng.Intn(2))
 		}
-		truthMask, err = icos.Embed(tx, cfg.ctrlSCs, ctrl, cfg.k)
+		s.txIvals, err = icos.EncodeIntervalsInto(s.txIvals, ctrl, cfg.k)
 		if err != nil {
 			return nil, err
 		}
+		s.txPos, err = icos.LayoutInto(s.txPos, s.txIvals, tx.NumSymbols(), cfg.ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+		s.truthMsk, err = icos.InsertSilencesInto(s.truthMsk, tx.Grid, s.txPos)
+		if err != nil {
+			return nil, err
+		}
+		truthMask = s.truthMsk
 	}
 
-	samples, err := tx.Samples()
+	s.samples, err = tx.SamplesInto(s.samples)
 	if err != nil {
 		return nil, err
 	}
-	h := ch.FrequencyResponse(t)
+	s.taps = ch.TapsInto(s.taps, t)
+	h := channel.FrequencyResponseFrom(s.taps)
 	nv, err := phy.NoiseVarForActualSNR(h, actualSNR)
 	if err != nil {
 		return nil, err
 	}
-	rx := ch.Apply(samples, t, nv, rng)
+	s.rxBuf = channel.ApplyTo(s.rxBuf, s.samples, s.taps, nv, rng)
 	if cfg.interferer != nil {
-		if _, err := cfg.interferer.Apply(rx, rng); err != nil {
+		if _, err := cfg.interferer.Apply(s.rxBuf, rng); err != nil {
 			return nil, err
 		}
 	}
-	fe, err := phy.RunFrontEnd(rx)
+	fe, err := phy.RunFrontEndInto(&s.rx, s.rxBuf)
 	if err != nil {
 		return nil, err
 	}
@@ -168,34 +222,38 @@ func runCoSTrial(ch *channel.TDL, t, actualSNR float64, cfg cosTrialConfig, rng 
 	res := &cosTrialResult{}
 	var mask [][]bool
 	if cfg.placement != nil {
-		detMask, err := cfg.detector.DetectMask(fe, cfg.ctrlSCs)
+		s.detMsk, err = cfg.detector.DetectMaskInto(s.detMsk, fe, cfg.ctrlSCs)
 		if err != nil {
 			return nil, err
 		}
-		res.detection, err = icos.CompareMasks(truthMask, detMask, cfg.ctrlSCs)
+		res.detection, err = icos.CompareMasks(truthMask, s.detMsk, cfg.ctrlSCs)
 		if err != nil {
 			return nil, err
 		}
-		mask = detMask
+		mask = s.detMsk
 		if cfg.genieMask {
 			mask = truthMask
 		}
 	} else if cfg.silences > 0 {
-		ctrlBits, detMask, exErr := icos.ExtractControl(fe, cfg.ctrlSCs, cfg.detector, cfg.k)
-		if detMask == nil {
-			detMask, err = cfg.detector.DetectMask(fe, cfg.ctrlSCs)
-			if err != nil {
-				return nil, err
-			}
+		s.detMsk, err = cfg.detector.DetectMaskInto(s.detMsk, fe, cfg.ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+		var ctrlBits []byte
+		var exErr error
+		s.rxIvals, exErr = icos.ExtractIntervalsInto(s.rxIvals, s.detMsk, cfg.ctrlSCs)
+		if exErr == nil {
+			s.rxBits, exErr = icos.DecodeIntervalsInto(s.rxBits, s.rxIvals, cfg.k)
+			ctrlBits = s.rxBits
 		}
 		if exErr == nil && len(ctrlBits) >= len(ctrl) && bits.Equal(ctrlBits[:len(ctrl)], ctrl) {
 			res.ctrlOK = true
 		}
-		res.detection, err = icos.CompareMasks(truthMask, detMask, cfg.ctrlSCs)
+		res.detection, err = icos.CompareMasks(truthMask, s.detMsk, cfg.ctrlSCs)
 		if err != nil {
 			return nil, err
 		}
-		mask = detMask
+		mask = s.detMsk
 		if cfg.genieMask {
 			mask = truthMask
 		}
@@ -204,7 +262,7 @@ func runCoSTrial(ch *channel.TDL, t, actualSNR float64, cfg cosTrialConfig, rng 
 	if cfg.ignoreErasures {
 		mask = nil
 	}
-	dec, err := fe.Decode(phy.DecodeConfig{Mode: cfg.mode, PSDULen: len(psdu), Erased: mask, LLRBits: cfg.llrBits})
+	dec, err := fe.DecodeInto(&s.rx, phy.DecodeConfig{Mode: cfg.mode, PSDULen: len(s.psdu), Erased: mask, LLRBits: cfg.llrBits})
 	if err != nil {
 		return nil, err
 	}
@@ -220,12 +278,12 @@ func runCoSTrial(ch *channel.TDL, t, actualSNR float64, cfg cosTrialConfig, rng 
 // interval (worst-case interval spacing). Averaging the probes matters: a
 // single packet's channel estimate is noisy enough at weak subcarriers to
 // let a borderline-undetectable subcarrier slip past the floor.
-func selectCtrlSCsForBudget(ch *channel.TDL, t, actualSNR float64, mode phy.Mode, nSym, silences, k int, rng *rand.Rand) ([]int, error) {
+func selectCtrlSCsForBudget(s *trialScratch, ch *channel.TDL, t, actualSNR float64, mode phy.Mode, nSym, silences, k int, rng *rand.Rand) ([]int, error) {
 	const probes = 3
 	evm := make([]float64, ofdm.NumData)
 	snrs := make([]float64, ofdm.NumData)
 	for i := 0; i < probes; i++ {
-		pr, err := probe(ch, t, mode, 256, actualSNR, rng)
+		pr, err := probe(s, ch, t, mode, 256, actualSNR, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -233,13 +291,13 @@ func selectCtrlSCsForBudget(ch *channel.TDL, t, actualSNR float64, mode phy.Mode
 		if err != nil {
 			return nil, err
 		}
-		s, err := pr.fe.SubcarrierSNRs()
+		sc, err := pr.fe.SubcarrierSNRs()
 		if err != nil {
 			return nil, err
 		}
 		for d := 0; d < ofdm.NumData; d++ {
 			evm[d] += diag.EVM[d] / probes
-			snrs[d] += s[d] / probes
+			snrs[d] += sc[d] / probes
 		}
 	}
 	// Worst-case positions needed: every interval at its maximum.

@@ -56,6 +56,31 @@ func (s Scheme) MapBits(in []byte) ([]complex128, error) {
 	return out, nil
 }
 
+// MapBitsInto is MapBits writing into dst, which is grown (reusing its
+// capacity) to len(in)/BitsPerSymbol points.
+func (s Scheme) MapBitsInto(dst []complex128, in []byte) ([]complex128, error) {
+	m := s.BitsPerSymbol()
+	if m == 0 {
+		return nil, fmt.Errorf("modulation: invalid scheme %d", int(s))
+	}
+	if len(in)%m != 0 {
+		return nil, fmt.Errorf("modulation: bit count %d is not a multiple of %d", len(in), m)
+	}
+	n := len(in) / m
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		pt, err := s.Map(in[i*m : (i+1)*m])
+		if err != nil {
+			return nil, err
+		}
+		dst[i] = pt
+	}
+	return dst, nil
+}
+
 // hardAxis returns the axis bits (MSB-first) of the level nearest to x,
 // where x is in unnormalized integer units.
 func hardAxis(bitsPerAxis int, x float64) []byte {
@@ -116,25 +141,42 @@ func (s Scheme) SoftDemap(y complex128, noiseVar float64) ([]float64, error) {
 	if m == 0 {
 		return nil, fmt.Errorf("modulation: invalid scheme %d", int(s))
 	}
+	out := make([]float64, m)
+	if err := s.SoftDemapInto(out, y, noiseVar); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SoftDemapInto is SoftDemap writing the BitsPerSymbol metrics into dst,
+// whose length must be exactly BitsPerSymbol. It is the allocation-free form
+// the receiver uses to demap straight into a symbol's metric segment.
+func (s Scheme) SoftDemapInto(dst []float64, y complex128, noiseVar float64) error {
+	m := s.BitsPerSymbol()
+	if m == 0 {
+		return fmt.Errorf("modulation: invalid scheme %d", int(s))
+	}
+	if len(dst) != m {
+		return fmt.Errorf("modulation: %v demaps %d metrics per symbol, destination has %d", s, m, len(dst))
+	}
 	const minNoiseVar = 1e-9
 	if noiseVar < minNoiseVar {
 		noiseVar = minNoiseVar
 	}
 	if s == BPSK {
 		// chi_0 = {-1}, chi_1 = {+1}: LLR = ((re+1)^2 - (re-1)^2)/N0.
-		return []float64{4 * real(y) / noiseVar}, nil
+		dst[0] = 4 * real(y) / noiseVar
+		return nil
 	}
 	half := m / 2
-	out := make([]float64, 0, m)
-	out = append(out, softAxis(half, real(y), s.Norm(), noiseVar)...)
-	out = append(out, softAxis(half, imag(y), s.Norm(), noiseVar)...)
-	return out, nil
+	softAxis(dst[:half], half, real(y), s.Norm(), noiseVar)
+	softAxis(dst[half:], half, imag(y), s.Norm(), noiseVar)
+	return nil
 }
 
-// softAxis computes the per-bit max-log metrics of one axis.
-func softAxis(bitsPerAxis int, y, norm, noiseVar float64) []float64 {
+// softAxis computes the per-bit max-log metrics of one axis into out.
+func softAxis(out []float64, bitsPerAxis int, y, norm, noiseVar float64) {
 	levels := axisLevels(bitsPerAxis)
-	out := make([]float64, bitsPerAxis)
 	for bit := 0; bit < bitsPerAxis; bit++ {
 		shift := bitsPerAxis - 1 - bit // bit 0 is the MSB of the axis index
 		min0, min1 := math.Inf(1), math.Inf(1)
@@ -151,7 +193,6 @@ func softAxis(bitsPerAxis int, y, norm, noiseVar float64) []float64 {
 		}
 		out[bit] = (min0 - min1) / noiseVar
 	}
-	return out
 }
 
 // DemapBits hard-demaps a sequence of received points into a bit stream.

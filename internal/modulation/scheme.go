@@ -112,16 +112,24 @@ func (s Scheme) MinPointEnergy() float64 {
 //
 // The tables below are indexed by the bit pattern read MSB-first as in the
 // standard's tables; the mapper assembles indices accordingly.
+// Axis level tables are package-level so axisLevels never allocates on the
+// demap hot path.
+var (
+	levels1 = []float64{-1, 1}
+	levels2 = []float64{-3, -1, 3, 1} // index = b0<<1 | b1 (b0 first)
+	// index = b0<<2 | b1<<1 | b2 (b0 transmitted first, per standard
+	// table ordering b0 b1 b2 -> level).
+	levels3 = []float64{-7, -5, -1, -3, 7, 5, 1, 3}
+)
+
 func axisLevels(bitsPerAxis int) []float64 {
 	switch bitsPerAxis {
 	case 1:
-		return []float64{-1, 1}
+		return levels1
 	case 2:
-		return []float64{-3, -1, 3, 1} // index = b0<<1 | b1 (b0 first)
+		return levels2
 	case 3:
-		// index = b0<<2 | b1<<1 | b2 (b0 transmitted first, per standard
-		// table ordering b0 b1 b2 -> level).
-		return []float64{-7, -5, -1, -3, 7, 5, 1, 3}
+		return levels3
 	default:
 		return nil
 	}

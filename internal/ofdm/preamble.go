@@ -101,15 +101,11 @@ func LongTrainingObservations(preamble []complex128) (first, second Bins, err er
 		return first, second, fmt.Errorf("ofdm: preamble too short: %d samples, need %d", len(preamble), PreambleLen)
 	}
 	base := ShortPreambleLen + 32
-	f1, err := dsp.FFT(preamble[base : base+NumSubcarriers])
-	if err != nil {
+	if err := dsp.FFTInto(first[:], preamble[base:base+NumSubcarriers]); err != nil {
 		return first, second, err
 	}
-	f2, err := dsp.FFT(preamble[base+NumSubcarriers : base+2*NumSubcarriers])
-	if err != nil {
+	if err := dsp.FFTInto(second[:], preamble[base+NumSubcarriers:base+2*NumSubcarriers]); err != nil {
 		return first, second, err
 	}
-	copy(first[:], f1)
-	copy(second[:], f2)
 	return first, second, nil
 }

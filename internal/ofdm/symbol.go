@@ -63,6 +63,24 @@ func (g *Grid) Set(sym, sc int, v complex128) error {
 	return nil
 }
 
+// Resize reshapes the grid to numSymbols symbols with all data subcarriers
+// zero, reusing the existing backing storage when it is large enough. It is
+// the scratch-arena entry point: a transmit scratch keeps one Grid and
+// Resizes it per packet instead of allocating a fresh one.
+func (g *Grid) Resize(numSymbols int) {
+	if numSymbols <= cap(g.symbols) {
+		g.symbols = g.symbols[:numSymbols]
+		for i := range g.symbols {
+			row := g.symbols[i]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		return
+	}
+	*g = *NewGrid(numSymbols)
+}
+
 // Clone returns a deep copy of the grid.
 func (g *Grid) Clone() *Grid {
 	out := NewGrid(len(g.symbols))
@@ -77,8 +95,20 @@ func (g *Grid) Clone() *Grid {
 // assembled into 64 bins (48 data + 4 polarized pilots + zero guards),
 // IFFT'd, and prefixed with the 16-sample cyclic prefix.
 func (g *Grid) Modulate(firstSymbolIndex int) ([]complex128, error) {
-	out := make([]complex128, 0, len(g.symbols)*SymbolLen)
-	bins := make([]complex128, NumSubcarriers)
+	return g.ModulateInto(firstSymbolIndex, nil)
+}
+
+// ModulateInto is Modulate writing into dst, which is grown (reusing its
+// capacity) to exactly NumSymbols*SymbolLen samples. A stack-resident bin
+// buffer is reused across symbols, so a caller that recycles dst modulates
+// without heap allocation.
+func (g *Grid) ModulateInto(firstSymbolIndex int, dst []complex128) ([]complex128, error) {
+	n := len(g.symbols) * SymbolLen
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:n]
+	var bins [NumSubcarriers]complex128
 	for i, row := range g.symbols {
 		for b := range bins {
 			bins[b] = 0
@@ -101,14 +131,14 @@ func (g *Grid) Modulate(firstSymbolIndex int) ([]complex128, error) {
 			}
 			bins[bin] = pv
 		}
-		td, err := dsp.IFFT(bins)
-		if err != nil {
+		if err := dsp.IFFTInPlace(bins[:]); err != nil {
 			return nil, err
 		}
-		out = append(out, td[NumSubcarriers-CPLen:]...)
-		out = append(out, td...)
+		off := i * SymbolLen
+		copy(dst[off:off+CPLen], bins[NumSubcarriers-CPLen:])
+		copy(dst[off+CPLen:off+SymbolLen], bins[:])
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Bins holds the raw 64 frequency bins of one received OFDM symbol, before
@@ -144,18 +174,26 @@ func (b *Bins) PilotObservation(p int) (complex128, error) {
 // and FFTs the remaining 64 samples. len(samples) must be a multiple of
 // SymbolLen.
 func Demodulate(samples []complex128) ([]Bins, error) {
+	return DemodulateInto(nil, samples)
+}
+
+// DemodulateInto is Demodulate writing into dst, which is grown (reusing its
+// capacity) to one Bins per OFDM symbol.
+func DemodulateInto(dst []Bins, samples []complex128) ([]Bins, error) {
 	if len(samples)%SymbolLen != 0 {
 		return nil, fmt.Errorf("ofdm: sample count %d is not a multiple of %d", len(samples), SymbolLen)
 	}
 	n := len(samples) / SymbolLen
-	out := make([]Bins, n)
+	if cap(dst) < n {
+		dst = make([]Bins, n)
+	}
+	dst = dst[:n]
 	for i := 0; i < n; i++ {
 		sym := samples[i*SymbolLen+CPLen : (i+1)*SymbolLen]
-		fd, err := dsp.FFT(sym)
-		if err != nil {
+		copy(dst[i][:], sym)
+		if err := dsp.FFTInPlace(dst[i][:]); err != nil {
 			return nil, err
 		}
-		copy(out[i][:], fd)
 	}
-	return out, nil
+	return dst, nil
 }

@@ -76,16 +76,26 @@ func RunFrontEndAt(samples []complex128, firstPilotIndex int) (*FrontEnd, error)
 }
 
 func runFrontEndAt(samples []complex128, firstPilotIndex int) (*FrontEnd, error) {
+	fe := &FrontEnd{}
+	if err := frontEndInto(fe, samples, firstPilotIndex); err != nil {
+		return nil, err
+	}
+	return fe, nil
+}
+
+// frontEndInto fills fe from samples, reusing the capacity of fe.Bins and
+// fe.PerSymbolNoise. All other fields are overwritten.
+func frontEndInto(fe *FrontEnd, samples []complex128, firstPilotIndex int) error {
 	payload := samples[ofdm.PreambleLen:]
 	if len(payload)%ofdm.SymbolLen != 0 {
-		return nil, fmt.Errorf("phy: payload %d samples is not a whole number of OFDM symbols", len(payload))
+		return fmt.Errorf("phy: payload %d samples is not a whole number of OFDM symbols", len(payload))
 	}
 
 	y1, y2, err := ofdm.LongTrainingObservations(samples[:ofdm.PreambleLen])
 	if err != nil {
-		return nil, err
+		return err
 	}
-	fe := &FrontEnd{}
+	fe.ChannelEst = [ofdm.NumSubcarriers]complex128{}
 	var ltfNoise float64
 	occupied := 0
 	for k := -26; k <= 26; k++ {
@@ -94,7 +104,7 @@ func runFrontEndAt(samples []complex128, firstPilotIndex int) (*FrontEnd, error)
 		}
 		bin, err := ofdm.Bin(k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l := ofdm.LongTrainingValue(k)
 		fe.ChannelEst[bin] = (y1[bin] + y2[bin]) / (2 * l)
@@ -104,9 +114,9 @@ func runFrontEndAt(samples []complex128, firstPilotIndex int) (*FrontEnd, error)
 	}
 	fe.LTFNoiseVar = ltfNoise / float64(occupied)
 
-	fe.Bins, err = ofdm.Demodulate(payload)
+	fe.Bins, err = ofdm.DemodulateInto(fe.Bins, payload)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Pilot-aided noise estimation (Eqs. (5)-(6)): n_i = y_i - H_hat_i x_i
@@ -115,22 +125,25 @@ func runFrontEndAt(samples []complex128, firstPilotIndex int) (*FrontEnd, error)
 	// E|y - H_hat x|^2 = eta + eta/2 |x|^2 = 1.5 eta for unit pilots.
 	// Dividing by that factor makes the estimator unbiased.
 	const pilotEstimateBias = 1.5
-	fe.PerSymbolNoise = make([]float64, len(fe.Bins))
+	if cap(fe.PerSymbolNoise) < len(fe.Bins) {
+		fe.PerSymbolNoise = make([]float64, len(fe.Bins))
+	}
+	fe.PerSymbolNoise = fe.PerSymbolNoise[:len(fe.Bins)]
 	var total float64
 	for s := range fe.Bins {
 		var acc float64
 		for p := 0; p < ofdm.NumPilots; p++ {
 			obs, err := fe.Bins[s].PilotObservation(p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			binIdx, err := ofdm.Bin(ofdm.PilotIndices[p])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			want, err := ofdm.PilotValue(p, firstPilotIndex+s)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			n := obs - fe.ChannelEst[binIdx]*want
 			acc += dsp.MagSq(n)
@@ -139,7 +152,7 @@ func runFrontEndAt(samples []complex128, firstPilotIndex int) (*FrontEnd, error)
 		total += fe.PerSymbolNoise[s]
 	}
 	fe.NoiseVar = total / float64(len(fe.Bins))
-	return fe, nil
+	return nil
 }
 
 // NumSymbols returns the number of payload OFDM symbols.
@@ -161,10 +174,19 @@ func (fe *FrontEnd) ChannelAt(d int) (complex128, error) {
 // Equalized returns the zero-forcing-equalized data subcarriers of payload
 // symbol s: Y_k / H_hat_k.
 func (fe *FrontEnd) Equalized(s int) ([]complex128, error) {
+	return fe.EqualizedInto(nil, s)
+}
+
+// EqualizedInto is Equalized writing into dst, which is grown (reusing its
+// capacity) to ofdm.NumData values.
+func (fe *FrontEnd) EqualizedInto(dst []complex128, s int) ([]complex128, error) {
 	if s < 0 || s >= len(fe.Bins) {
 		return nil, fmt.Errorf("phy: symbol %d out of range [0,%d)", s, len(fe.Bins))
 	}
-	out := make([]complex128, ofdm.NumData)
+	if cap(dst) < ofdm.NumData {
+		dst = make([]complex128, ofdm.NumData)
+	}
+	out := dst[:ofdm.NumData]
 	for d := 0; d < ofdm.NumData; d++ {
 		y, err := fe.Bins[s].DataValue(d)
 		if err != nil {
@@ -186,11 +208,20 @@ func (fe *FrontEnd) Equalized(s int) ([]complex128, error) {
 // SubcarrierSNRs returns the estimated linear SNR of each data subcarrier:
 // |H_hat_k|^2 / eta (unit-power constellations make Es = 1).
 func (fe *FrontEnd) SubcarrierSNRs() ([]float64, error) {
+	return fe.SubcarrierSNRsInto(nil)
+}
+
+// SubcarrierSNRsInto is SubcarrierSNRs writing into dst, which is grown
+// (reusing its capacity) to ofdm.NumData values.
+func (fe *FrontEnd) SubcarrierSNRsInto(dst []float64) ([]float64, error) {
 	noise := fe.NoiseVar
 	if noise <= 0 {
 		noise = 1e-12
 	}
-	out := make([]float64, ofdm.NumData)
+	if cap(dst) < ofdm.NumData {
+		dst = make([]float64, ofdm.NumData)
+	}
+	out := dst[:ofdm.NumData]
 	for d := range out {
 		h, err := fe.ChannelAt(d)
 		if err != nil {
@@ -206,18 +237,23 @@ func (fe *FrontEnd) SubcarrierSNRs() ([]float64, error) {
 // (arithmetic-mean) SNR on frequency-selective channels — the paper's
 // "measured SNR is dragged to a low value by those fading subcarriers".
 func (fe *FrontEnd) MeasuredSNRdB() (float64, error) {
-	snrs, err := fe.SubcarrierSNRs()
-	if err != nil {
-		return 0, err
+	noise := fe.NoiseVar
+	if noise <= 0 {
+		noise = 1e-12
 	}
 	var sum float64
-	for _, s := range snrs {
+	for d := 0; d < ofdm.NumData; d++ {
+		h, err := fe.ChannelAt(d)
+		if err != nil {
+			return 0, err
+		}
+		s := dsp.MagSq(h) / noise
 		if s < 1e-9 {
 			s = 1e-9
 		}
 		sum += dsp.DB(s)
 	}
-	return sum / float64(len(snrs)), nil
+	return sum / float64(ofdm.NumData), nil
 }
 
 // DecodeConfig configures the decoding stage.
@@ -285,6 +321,14 @@ type DecodeResult struct {
 // descrambles the payload. Erasures (silence symbols and punctured
 // positions) enter the decoder as zero metrics.
 func (fe *FrontEnd) Decode(cfg DecodeConfig) (*DecodeResult, error) {
+	return fe.DecodeInto(nil, cfg)
+}
+
+// DecodeInto is Decode using s as working storage; the returned result and
+// its slices alias s and are valid until the next decode with the same
+// scratch. A nil s decodes into fresh storage, making DecodeInto(nil, cfg)
+// identical to Decode(cfg).
+func (fe *FrontEnd) DecodeInto(s *RxScratch, cfg DecodeConfig) (*DecodeResult, error) {
 	if err := cfg.Validate(fe); err != nil {
 		return nil, err
 	}
@@ -292,7 +336,7 @@ func (fe *FrontEnd) Decode(cfg DecodeConfig) (*DecodeResult, error) {
 	// coding.Viterbi.Decode); the erasure count comes from the mask, not
 	// the demap loop, for the same reason.
 	start := time.Now()
-	res, err := fe.decode(cfg)
+	res, err := fe.decode(s, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +354,10 @@ func (fe *FrontEnd) Decode(cfg DecodeConfig) (*DecodeResult, error) {
 	return res, nil
 }
 
-func (fe *FrontEnd) decode(cfg DecodeConfig) (*DecodeResult, error) {
+func (fe *FrontEnd) decode(s *RxScratch, cfg DecodeConfig) (*DecodeResult, error) {
+	if s == nil {
+		s = &RxScratch{}
+	}
 	m := cfg.Mode
 	il, scheme, err := mapperFor(m)
 	if err != nil {
@@ -318,18 +365,30 @@ func (fe *FrontEnd) decode(cfg DecodeConfig) (*DecodeResult, error) {
 	}
 	nbpsc := m.NBPSC()
 
-	metrics := make([]float64, 0, fe.NumSymbols()*m.NCBPS())
-	hard := make([]byte, 0, fe.NumSymbols()*m.NCBPS())
-	symMetrics := make([]float64, m.NCBPS())
-	for s := 0; s < fe.NumSymbols(); s++ {
-		eq, err := fe.Equalized(s)
+	ncbps := m.NCBPS()
+	nMetrics := fe.NumSymbols() * ncbps
+	if cap(s.metrics) < nMetrics {
+		s.metrics = make([]float64, nMetrics)
+	}
+	metrics := s.metrics[:nMetrics]
+	if cap(s.hard) < nMetrics {
+		s.hard = make([]byte, nMetrics)
+	}
+	hard := s.hard[:nMetrics]
+	if cap(s.symMetrics) < ncbps {
+		s.symMetrics = make([]float64, ncbps)
+	}
+	symMetrics := s.symMetrics[:ncbps]
+	for sym := 0; sym < fe.NumSymbols(); sym++ {
+		s.eq, err = fe.EqualizedInto(s.eq, sym)
 		if err != nil {
 			return nil, err
 		}
+		eq := s.eq
 		noise := fe.NoiseVar
 		for d := 0; d < ofdm.NumData; d++ {
 			dst := symMetrics[d*nbpsc : (d+1)*nbpsc]
-			if cfg.Erased != nil && cfg.Erased[s][d] {
+			if cfg.Erased != nil && cfg.Erased[sym][d] {
 				for i := range dst {
 					dst[i] = 0
 				}
@@ -344,30 +403,28 @@ func (fe *FrontEnd) decode(cfg DecodeConfig) (*DecodeResult, error) {
 			if hMag > 1e-12 {
 				postEqNoise = noise / hMag
 			}
-			lam, err := scheme.SoftDemap(eq[d], postEqNoise)
-			if err != nil {
+			if err := scheme.SoftDemapInto(dst, eq[d], postEqNoise); err != nil {
 				return nil, err
 			}
-			copy(dst, lam)
 		}
-		for _, v := range symMetrics {
+		base := sym * ncbps
+		for i, v := range symMetrics {
 			if v > 0 {
-				hard = append(hard, 1)
+				hard[base+i] = 1
 			} else {
-				hard = append(hard, 0)
+				hard[base+i] = 0
 			}
 		}
-		deint, err := coding.Deinterleave(il, symMetrics)
-		if err != nil {
+		if _, err := coding.DeinterleaveInto(il, metrics[base:base+ncbps], symMetrics); err != nil {
 			return nil, err
 		}
-		metrics = append(metrics, deint...)
 	}
 
-	full, err := coding.DepunctureMetrics(metrics, m.CodeRate)
+	s.full, err = coding.DepunctureMetricsInto(s.full, metrics, m.CodeRate)
 	if err != nil {
 		return nil, err
 	}
+	full := s.full
 	if cfg.LLRBits != 0 {
 		full, err = QuantizeMetrics(full, cfg.LLRBits, 0)
 		if err != nil {
@@ -375,7 +432,7 @@ func (fe *FrontEnd) decode(cfg DecodeConfig) (*DecodeResult, error) {
 		}
 	}
 	dec := coding.Viterbi{Terminated: true}
-	scrambled, err := dec.Decode(full)
+	scrambled, err := dec.DecodeInto(&s.vit, full)
 	if err != nil {
 		return nil, err
 	}
@@ -383,13 +440,15 @@ func (fe *FrontEnd) decode(cfg DecodeConfig) (*DecodeResult, error) {
 	if seed == 0 {
 		seed = DefaultScramblerSeed
 	}
-	descr := bits.NewScrambler(seed).Scramble(scrambled)
+	s.descr = bits.NewScrambler(seed).ScrambleInto(s.descr, scrambled)
+	descr := s.descr
 	// The tail bits were zeroed post-scrambling at the transmitter, so
 	// descrambling mangles them; that region carries no data.
 	psduBits := descr[serviceBits : serviceBits+8*cfg.PSDULen]
-	psdu, err := bits.ToBytes(psduBits)
+	s.psdu, err = bits.ToBytesInto(s.psdu, psduBits)
 	if err != nil {
 		return nil, err
 	}
-	return &DecodeResult{PSDU: psdu, DataBits: descr, HardCodedBits: hard}, nil
+	s.res = DecodeResult{PSDU: s.psdu, DataBits: descr, HardCodedBits: hard}
+	return &s.res, nil
 }

@@ -127,7 +127,7 @@ func buildPacket(cfg TxConfig, psdu []byte) (*TxPacket, error) {
 	if err != nil {
 		return nil, err
 	}
-	il, err := coding.NewInterleaver(m.NCBPS(), m.NBPSC())
+	il, err := coding.CachedInterleaver(m.NCBPS(), m.NBPSC())
 	if err != nil {
 		return nil, err
 	}
@@ -187,9 +187,11 @@ func ReconstructGrid(cfg TxConfig, psdu []byte) (*ofdm.Grid, error) {
 	return pkt.Grid, nil
 }
 
-// mapperFor returns the interleaver for a mode (shared by RX).
+// mapperFor returns the interleaver for a mode (shared by RX). Interleavers
+// are immutable after construction, so the process-wide cache is safe to
+// share.
 func mapperFor(m Mode) (*coding.Interleaver, modulation.Scheme, error) {
-	il, err := coding.NewInterleaver(m.NCBPS(), m.NBPSC())
+	il, err := coding.CachedInterleaver(m.NCBPS(), m.NBPSC())
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,17 +1,11 @@
 package cos
 
 import (
-	"fmt"
-	"math"
-	"math/rand"
 	"strconv"
 	"time"
 
-	"cos/internal/bits"
-	"cos/internal/channel"
 	icos "cos/internal/cos"
 	"cos/internal/obs"
-	"cos/internal/ofdm"
 	"cos/internal/phy"
 )
 
@@ -21,27 +15,22 @@ import (
 // selected control subcarriers (and its measured SNR) back to the sender,
 // which adapts both the data rate and the control-message rate.
 //
+// A Link is thin wiring over three pipeline nodes — Transmitter, Channel,
+// and Receiver — each of which owns its own scratch arena, so steady-state
+// Sends allocate only the Exchange handed to the caller. The nodes are
+// also usable standalone (NewTransmitter, NewChannel, NewReceiver) for
+// multi-link topologies.
+//
 // Create a Link with NewLink and push packets through it with Send.
 // A Link is not safe for concurrent use.
 type Link struct {
 	cfg     config
-	ch      *channel.TDL
-	rng     *rand.Rand
-	rateTbl *icos.RateTable
+	tx      *Transmitter
+	ch      *Channel
+	rx      *Receiver
 	now     float64
 	seq     int
 	metrics linkMetrics
-
-	// Receiver feedback state (valid after the first successful packet).
-	haveFeedback bool
-	// noDetectable records that the last feedback found no subcarrier on
-	// which silences could be detected: CoS pauses (budget 0) rather than
-	// falling back to the bootstrap set on a channel known to be hostile.
-	noDetectable bool
-	ctrlSCs      []int
-	measuredSNR  float64
-	lastEVM      []float64
-	lastSCSNRs   []float64
 }
 
 // Observer receives every completed exchange, immediately after the link
@@ -104,10 +93,11 @@ type Exchange struct {
 
 // Clone returns a deep copy of the exchange: the slice fields (Data,
 // ControlSent, ControlReceived, ControlPayload, ControlSubcarriers) are
-// copied, so the clone stays valid after the observer callback returns and
-// the link reuses or drops the original. Observers that retain exchanges
-// (trace buffers, async sinks) must clone; synchronous consumers that only
-// read fields inside the callback need not.
+// copied and the Probe (when present) is deep-copied too, so the clone
+// stays valid after the observer callback returns and the link reuses or
+// drops the original. Observers that retain exchanges (trace buffers,
+// async sinks) must clone; synchronous consumers that only read fields
+// inside the callback need not.
 func (ex *Exchange) Clone() *Exchange {
 	if ex == nil {
 		return nil
@@ -142,7 +132,9 @@ type linkMetrics struct {
 	// spans times the pipeline stages of every exchange (the flight
 	// recorder): per-stage latency histograms plus the per-exchange
 	// StageNS drain. Links sharing a registry share the histograms but
-	// each link owns its SpanSet, so per-exchange windows never mix.
+	// each link owns its SpanSet, so per-exchange windows never mix. The
+	// three nodes of one link share this SpanSet (see stage.go), so one
+	// Drain covers the whole pipeline.
 	spans *obs.SpanSet
 
 	// SendStream counters (see stream.go).
@@ -200,69 +192,43 @@ func newLinkMetrics(r *obs.Registry) linkMetrics {
 	}
 }
 
-// NewLink builds a link from options. The zero-option link is PositionB,
-// static, 18 dB SNR, adaptive everything.
-func NewLink(opts ...Option) (*Link, error) {
+// buildConfig folds options over the default config and validates the
+// cross-option constraints shared by NewLink and the node constructors.
+func buildConfig(opts []Option) (config, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		if err := o(&cfg); err != nil {
-			return nil, err
+			return cfg, err
 		}
 	}
 	if cfg.fixedRateMbps != 0 {
 		if _, err := phy.ModeByRate(cfg.fixedRateMbps); err != nil {
-			return nil, err
+			return cfg, err
 		}
 	}
-	ch, err := cfg.position.NewVariant(cfg.mobile, cfg.variant)
+	return cfg, nil
+}
+
+// NewLink builds a link from options. The zero-option link is PositionB,
+// static, 18 dB SNR, adaptive everything.
+func NewLink(opts ...Option) (*Link, error) {
+	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Link{
-		cfg:     cfg,
-		ch:      ch,
-		rng:     rand.New(rand.NewSource(cfg.seed)),
-		rateTbl: icos.DefaultRateTable(),
-		metrics: newLinkMetrics(cfg.metrics),
-	}, nil
+	l := &Link{cfg: cfg, metrics: newLinkMetrics(cfg.metrics)}
+	ch, err := newChannelNode(cfg, &l.metrics)
+	if err != nil {
+		return nil, err
+	}
+	l.tx = newTransmitter(cfg, &l.metrics)
+	l.ch = ch
+	l.rx = newReceiver(cfg, ch, &l.metrics)
+	return l, nil
 }
 
 // Now returns the link's simulation clock in seconds.
 func (l *Link) Now() float64 { return l.now }
-
-// mode returns the data mode for the next packet.
-func (l *Link) mode() (phy.Mode, error) {
-	if l.cfg.fixedRateMbps != 0 {
-		return phy.ModeByRate(l.cfg.fixedRateMbps)
-	}
-	if !l.haveFeedback {
-		// No feedback yet: most robust mode.
-		return phy.ModeByRate(6)
-	}
-	return phy.SelectMode(l.measuredSNR), nil
-}
-
-// silenceBudget returns the per-packet silence budget for the next packet.
-func (l *Link) silenceBudget() int {
-	if !l.cfg.adaptiveBudget {
-		return l.cfg.silenceBudget
-	}
-	if !l.haveFeedback {
-		// Sec. III-F: without feedback (e.g. after a loss) use the lowest
-		// control rate.
-		return l.rateTbl.Fallback()
-	}
-	snr := l.measuredSNR
-	if l.cfg.fixedRateMbps != 0 {
-		// The budget table is calibrated against the adaptive SNR->mode
-		// mapping. With a pinned rate, clamp the lookup into that mode's
-		// band: above the band the pinned mode has *more* headroom than the
-		// adaptive mode the table assumes, so the band-top budget is a
-		// conservative choice.
-		snr = clampToBand(snr, l.cfg.fixedRateMbps)
-	}
-	return l.rateTbl.Lookup(snr)
-}
 
 // clampToBand bounds a measured SNR into the adaptation band of the given
 // rate: [its threshold, just below the next mode's threshold].
@@ -292,35 +258,7 @@ func clampToBand(snr float64, rateMbps int) float64 {
 // a payload of dataLen bytes, accounting for the current budget, the
 // control subcarrier set, and worst-case interval layout.
 func (l *Link) MaxControlBits(dataLen int) (int, error) {
-	if l.cfg.disableCoS || l.noDetectable {
-		return 0, nil
-	}
-	mode, err := l.mode()
-	if err != nil {
-		return 0, err
-	}
-	budget := l.silenceBudget()
-	k := l.cfg.bitsPerInterval
-	byBudget := (budget - 1) * k
-	if byBudget < 0 {
-		byBudget = 0
-	}
-	if l.cfg.controlFraming {
-		byBudget -= icos.FramedBits(0, k) // header+CRC ride in the budget
-		if byBudget < 0 {
-			byBudget = 0
-		}
-	}
-	nSym := mode.SymbolsForPSDU(dataLen + bits.FCSLen)
-	nCtrl := len(l.ctrlSCs)
-	if nCtrl == 0 {
-		nCtrl = l.cfg.minCtrl
-	}
-	byCapacity := icos.MaxMessageBits(nSym, nCtrl, k)
-	if byCapacity < byBudget {
-		return byCapacity, nil
-	}
-	return byBudget, nil
+	return l.tx.MaxControlBits(dataLen)
 }
 
 // defaultCtrlSCs is the bootstrap control set used before any feedback
@@ -333,145 +271,58 @@ var defaultCtrlSCs = []int{9, 10, 11, 12, 13, 14, 15, 16}
 // send a data-only packet.
 func (l *Link) Send(data, control []byte) (*Exchange, error) {
 	start := time.Now()
-	mode, err := l.mode()
+
+	// Sender node.
+	f, err := l.tx.Encode(data, control)
 	if err != nil {
 		return nil, err
 	}
-	if l.cfg.disableCoS && len(control) > 0 {
-		return nil, fmt.Errorf("cos: control bits on a CoS-disabled link: %w", ErrCoSDisabled)
+	ex := &Exchange{
+		Seq:                l.seq,
+		DataBytes:          len(data),
+		Mode:               f.Mode,
+		Time:               l.now,
+		ControlSubcarriers: f.ControlSubcarriers,
 	}
-
-	// Sender side.
-	spTx := l.metrics.spans.StartSpan(int(StageTxEncode))
-	psdu := bits.AppendFCS(data)
-	pkt, err := phy.BuildPacket(phy.TxConfig{Mode: mode}, psdu)
-	if err != nil {
-		return nil, err
-	}
-	ctrlSCs := l.ctrlSCs
-	if len(ctrlSCs) == 0 {
-		ctrlSCs = defaultCtrlSCs
-	}
-	ex := &Exchange{Seq: l.seq, DataBytes: len(data), Mode: mode, Time: l.now, ControlSubcarriers: ctrlSCs}
-
-	var truthMask [][]bool
-	wire := control
 	if len(control) > 0 {
-		maxBits, err := l.MaxControlBits(len(data))
-		if err != nil {
-			return nil, err
-		}
-		if len(control) > maxBits {
-			return nil, fmt.Errorf("cos: %d control bits exceed the current budget of %d: %w", len(control), maxBits, ErrBudgetExceeded)
-		}
-		if l.cfg.controlFraming {
-			framed, err := icos.FrameControl(control)
-			if err != nil {
-				return nil, err
-			}
-			wire, err = icos.PadToInterval(framed, l.cfg.bitsPerInterval)
-			if err != nil {
-				return nil, err
-			}
-		} else if len(control)%l.cfg.bitsPerInterval != 0 {
-			return nil, fmt.Errorf("cos: %d control bits is not a multiple of k=%d (or use WithControlFraming): %w",
-				len(control), l.cfg.bitsPerInterval, ErrControlAlignment)
-		}
-		truthMask, err = icos.Embed(pkt, ctrlSCs, wire, l.cfg.bitsPerInterval)
-		if err != nil {
-			return nil, err
-		}
 		ex.ControlSent = append([]byte(nil), control...)
-		ex.SilencesInserted = len(icos.MaskPositions(truthMask, ctrlSCs))
+		ex.SilencesInserted = f.SilencesInserted
 	}
 
-	// Channel.
-	samples, err := pkt.Samples()
+	// Channel node.
+	rxSamples, actualSNR, err := l.ch.Transmit(f.Samples, l.now)
 	if err != nil {
 		return nil, err
 	}
-	spTx.End()
-	spCh := l.metrics.spans.StartSpan(int(StageChannel))
-	h := l.ch.FrequencyResponse(l.now)
-	noiseVar, err := phy.NoiseVarForActualSNR(h, l.cfg.snrDB)
-	if err != nil {
-		return nil, err
-	}
-	rx := l.ch.Apply(samples, l.now, noiseVar, l.rng)
-	if l.cfg.interferer != nil {
-		if _, err := l.cfg.interferer.Apply(rx, l.rng); err != nil {
-			return nil, err
-		}
-	}
-	ex.ActualSNRdB, err = phy.ActualSNRdB(h, noiseVar)
-	if err != nil {
-		return nil, err
-	}
-	spCh.End()
+	ex.ActualSNRdB = actualSNR
 
-	// Receiver side.
-	spFE := l.metrics.spans.StartSpan(int(StageFrontEnd))
-	fe, err := phy.RunFrontEnd(rx)
+	// Receiver node.
+	res, err := l.rx.Receive(f, rxSamples, l.now)
 	if err != nil {
 		return nil, err
 	}
-	ex.MeasuredSNRdB, err = fe.MeasuredSNRdB()
-	if err != nil {
-		return nil, err
+	ex.MeasuredSNRdB = res.MeasuredSNRdB
+	if res.ControlDecoded {
+		// Copy out of the receiver's scratch; keep non-nil even when empty
+		// (extraction succeeded, just with no intervals).
+		ex.ControlReceived = append(make([]byte, 0, len(res.ControlReceived)), res.ControlReceived...)
 	}
-	spFE.End()
-
-	det := icos.Detector{Scheme: mode.Modulation, ThresholdFactor: l.cfg.thresholdFactor}
-	var detectedMask [][]bool
-	if len(control) > 0 {
-		spDet := l.metrics.spans.StartSpan(int(StageDetect))
-		detectedMask, err = det.DetectMask(fe, ctrlSCs)
-		if err != nil {
-			return nil, err
-		}
-		spDet.End()
-		spCtrl := l.metrics.spans.StartSpan(int(StageControlDecode))
-		ctrlBits, exErr := icos.DecodeMask(detectedMask, ctrlSCs, l.cfg.bitsPerInterval)
-		spCtrl.End()
-		if exErr == nil {
-			ex.ControlReceived = ctrlBits
-			if l.cfg.controlFraming {
-				if payload, ok := icos.ParseControl(ctrlBits); ok {
-					ex.ControlVerified = true
-					ex.ControlPayload = payload
-					ex.ControlOK = bits.Equal(payload, control)
-				}
-			} else {
-				ex.ControlOK = len(ctrlBits) >= len(control) && bits.Equal(ctrlBits[:len(control)], control)
-			}
-		}
-		ex.Detection, err = icos.CompareMasks(truthMask, detectedMask, ctrlSCs)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	spEVD := l.metrics.spans.StartSpan(int(StageEVD))
-	dec, err := fe.Decode(phy.DecodeConfig{Mode: mode, PSDULen: len(psdu), Erased: detectedMask})
-	if err != nil {
-		return nil, err
-	}
-	payload, dataOK := bits.CheckFCS(dec.PSDU)
-	spEVD.End()
-	if dataOK {
+	ex.ControlOK = res.ControlOK
+	ex.ControlVerified = res.ControlVerified
+	ex.ControlPayload = res.ControlPayload
+	ex.Detection = res.Detection
+	if res.DataOK {
 		ex.DataOK = true
-		ex.Data = payload
-		spFB := l.metrics.spans.StartSpan(int(StageFeedback))
-		if err := l.updateFeedback(pkt.Config, fe, dec.PSDU, detectedMask, mode, ex.MeasuredSNRdB); err != nil {
-			return nil, err
-		}
-		spFB.End()
+		ex.Data = append(make([]byte, 0, len(res.Data)), res.Data...)
+	}
+
+	// Close the loop: deliver the receiver's feedback to the transmitter,
+	// or note the loss (data or feedback-frame) so the sender falls back to
+	// conservative settings (Sec. III-F).
+	if res.FeedbackOK {
+		l.tx.ApplyFeedback(res.Feedback)
 	} else {
-		// Loss: the sender gets no feedback; fall back to conservative
-		// settings for the next packet (Sec. III-F).
-		l.haveFeedback = false
-		l.noDetectable = false
-		l.ctrlSCs = nil
+		l.tx.NoteLoss()
 		l.metrics.feedbackLosses.Inc()
 	}
 
@@ -479,7 +330,7 @@ func (l *Link) Send(data, control []byte) (*Exchange, error) {
 	// introspection probe (never when WithProbe is absent), then the
 	// per-stage latency drain into the exchange.
 	if l.cfg.probeEvery > 0 && ex.Seq%l.cfg.probeEvery == 0 {
-		probe, err := buildProbe(ex, pkt, fe, detectedMask, dec.HardCodedBits, det, ctrlSCs)
+		probe, err := buildProbe(ex, f.Packet, res.fe, res.mask, res.hard, res.det, f.ControlSubcarriers)
 		if err != nil {
 			return nil, err
 		}
@@ -525,119 +376,6 @@ func (l *Link) observe(ex *Exchange, start time.Time) {
 	}
 }
 
-// updateFeedback recomputes the receiver's EVM picture from the decoded
-// packet (re-mapping decoded bits for ideal constellation points, as the
-// paper does after a CRC pass) and refreshes the control subcarrier
-// selection and SNR feedback.
-func (l *Link) updateFeedback(txCfg phy.TxConfig, fe *phy.FrontEnd, psdu []byte, erased [][]bool, mode phy.Mode, measured float64) error {
-	grid, err := phy.ReconstructGrid(txCfg, psdu)
-	if err != nil {
-		return err
-	}
-	evm := make([]float64, ofdm.NumData)
-	counts := make([]int, ofdm.NumData)
-	sums := make([]float64, ofdm.NumData)
-	for s := 0; s < fe.NumSymbols(); s++ {
-		eq, err := fe.Equalized(s)
-		if err != nil {
-			return err
-		}
-		row, err := grid.Symbol(s)
-		if err != nil {
-			return err
-		}
-		for d := 0; d < ofdm.NumData; d++ {
-			if erased != nil && erased[s][d] {
-				continue // silences are excluded from EVM (Sec. III-D)
-			}
-			diff := eq[d] - row[d]
-			sums[d] += real(diff)*real(diff) + imag(diff)*imag(diff)
-			counts[d]++
-		}
-	}
-	for d := range evm {
-		if counts[d] > 0 {
-			evm[d] = math.Sqrt(sums[d] / float64(counts[d]))
-		}
-	}
-	snrs, err := fe.SubcarrierSNRs()
-	if err != nil {
-		return err
-	}
-	// Smooth the channel picture across packets (EWMA): a single packet's
-	// estimate is noisy enough at weak subcarriers to let a borderline
-	// subcarrier slip past the detectability floor.
-	if l.lastEVM != nil && l.lastSCSNRs != nil {
-		const alpha = 0.5
-		for d := range evm {
-			evm[d] = alpha*evm[d] + (1-alpha)*l.lastEVM[d]
-			snrs[d] = alpha*snrs[d] + (1-alpha)*l.lastSCSNRs[d]
-		}
-	}
-	if l.haveFeedback {
-		// Smooth the SNR report too: rate selection on a single packet's
-		// estimate flaps between modes at band edges.
-		const alpha = 0.4
-		measured = alpha*measured + (1-alpha)*l.measuredSNR
-	}
-	nextMode := phy.SelectMode(measured)
-	if l.cfg.fixedRateMbps != 0 {
-		nextMode = mode
-	}
-	sel, err := icos.SelectDetectable(evm, snrs, nextMode.Modulation, l.cfg.minCtrl, l.cfg.maxCtrl, 0)
-	if err != nil {
-		// No detectable subcarriers in this packet's estimate. Keep the
-		// previous selection if one exists (estimates fluctuate packet to
-		// packet); pause CoS only when there is nothing to fall back on.
-		if len(l.ctrlSCs) > 0 {
-			sel = l.ctrlSCs
-			l.noDetectable = false
-		} else {
-			sel = nil
-			l.noDetectable = true
-		}
-	} else {
-		l.noDetectable = false
-	}
-
-	if l.cfg.explicitFeedback {
-		// Ship the feedback over the reverse channel (reciprocal) instead
-		// of assuming ideal delivery: an ACK-sized frame plus the V symbol.
-		fb := icos.Feedback{MeasuredSNRdB: clampFeedbackSNR(measured), Selected: sel}
-		frame, err := icos.BuildFeedbackFrame(fb)
-		if err != nil {
-			return err
-		}
-		fbNoise, err := phy.NoiseVarForActualSNR(l.ch.FrequencyResponse(l.now), l.cfg.snrDB)
-		if err != nil {
-			return err
-		}
-		rx := l.ch.Apply(frame, l.now, fbNoise, l.rng)
-		parsed, err := icos.ParseFeedbackFrame(rx, icos.Detector{ThresholdFactor: l.cfg.thresholdFactor})
-		if err != nil {
-			// Feedback lost: the sender behaves as after a data loss
-			// (Sec. III-F) — conservative settings next packet.
-			l.metrics.feedbackLosses.Inc()
-			l.haveFeedback = false
-			l.noDetectable = false
-			l.ctrlSCs = nil
-			l.lastEVM = evm
-			l.lastSCSNRs = snrs
-			return nil
-		}
-		measured = parsed.MeasuredSNRdB
-		sel = parsed.Selected
-		l.noDetectable = len(sel) == 0
-	}
-
-	l.haveFeedback = true
-	l.measuredSNR = measured
-	l.lastEVM = evm
-	l.lastSCSNRs = snrs
-	l.ctrlSCs = sel
-	return nil
-}
-
 // clampFeedbackSNR bounds an SNR report to the feedback frame's encodable
 // range.
 func clampFeedbackSNR(db float64) float64 {
@@ -653,22 +391,7 @@ func clampFeedbackSNR(db float64) float64 {
 
 // LastEVM returns the receiver's most recent per-subcarrier EVM picture
 // (48 fractions), or nil before the first successful packet.
-func (l *Link) LastEVM() []float64 {
-	if l.lastEVM == nil {
-		return nil
-	}
-	out := make([]float64, len(l.lastEVM))
-	copy(out, l.lastEVM)
-	return out
-}
+func (l *Link) LastEVM() []float64 { return l.rx.LastEVM() }
 
 // ControlSubcarriers returns the currently selected control subcarriers.
-func (l *Link) ControlSubcarriers() []int {
-	src := l.ctrlSCs
-	if len(src) == 0 {
-		src = defaultCtrlSCs
-	}
-	out := make([]int, len(src))
-	copy(out, src)
-	return out
-}
+func (l *Link) ControlSubcarriers() []int { return l.tx.ControlSubcarriers() }

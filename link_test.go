@@ -186,8 +186,7 @@ func TestLinkLossResetsToConservative(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate loss by forcing internal state as a failed packet would.
-	link.haveFeedback = false
-	link.ctrlSCs = nil
+	link.tx.NoteLoss()
 	ex, err := link.Send(data, nil)
 	if err != nil {
 		t.Fatal(err)

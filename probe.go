@@ -6,56 +6,6 @@ import (
 	"cos/internal/phy"
 )
 
-// Stage identifies one timed section of Link.Send's pipeline. Every
-// exchange records the nanoseconds spent in each stage (Exchange.StageNS),
-// and the same spans feed per-stage latency histograms
-// (cos_link_stage_<name>_seconds) on the metrics registry.
-type Stage int
-
-const (
-	// StageTxEncode covers the sender: FCS, scramble/encode/interleave/map,
-	// silence embedding, and IFFT+CP sample generation.
-	StageTxEncode Stage = iota
-	// StageChannel covers the TDL channel, noise, and interference.
-	StageChannel
-	// StageFrontEnd covers the receiver front end: FFTs, channel estimate,
-	// pilot-aided noise estimate, SNR measurement.
-	StageFrontEnd
-	// StageDetect covers energy detection of silence symbols.
-	StageDetect
-	// StageControlDecode covers interval extraction and control-bit
-	// decoding from the detected silence mask.
-	StageControlDecode
-	// StageEVD covers the erasure Viterbi decode: demap, deinterleave,
-	// depuncture, Viterbi, descramble, FCS check.
-	StageEVD
-	// StageFeedback covers the receiver's EVM recomputation, subcarrier
-	// selection, and (with WithExplicitFeedback) the reverse-channel frame.
-	StageFeedback
-
-	// StageCount is the number of stages; it is not itself a stage.
-	StageCount
-)
-
-var stageNames = [StageCount]string{
-	"tx_encode", "channel", "rx_frontend", "detect",
-	"control_decode", "evd_decode", "feedback",
-}
-
-// String returns the stage's snake_case name as used in metric names and
-// the trace schema's stage_ns keys.
-func (s Stage) String() string {
-	if s < 0 || s >= StageCount {
-		return "unknown"
-	}
-	return stageNames[s]
-}
-
-// StageNames returns the names of all pipeline stages in Stage order.
-func StageNames() []string {
-	return append([]string(nil), stageNames[:]...)
-}
-
 // Probe is a deep PHY introspection sample: the per-subcarrier state the
 // paper's Figs. 5-7 are built from, captured from inside one exchange.
 // Probes are expensive (they re-demodulate the whole packet against the

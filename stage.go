@@ -1,0 +1,68 @@
+package cos
+
+import "cos/internal/obs"
+
+// This file owns the pipeline's stage vocabulary and its span wiring. The
+// node implementations (Transmitter, Channel, Receiver) start every timed
+// section through linkMetrics.span, and stageNames is a compile-time
+// length-checked array, so a stage cannot be added without its name, its
+// latency histogram, and its StageNS slot all appearing here.
+
+// Stage identifies one timed section of Link.Send's pipeline. Every
+// exchange records the nanoseconds spent in each stage (Exchange.StageNS),
+// and the same spans feed per-stage latency histograms
+// (cos_link_stage_<name>_seconds) on the metrics registry.
+type Stage int
+
+const (
+	// StageTxEncode covers the sender: FCS, scramble/encode/interleave/map,
+	// silence embedding, and IFFT+CP sample generation (Transmitter.Encode).
+	StageTxEncode Stage = iota
+	// StageChannel covers the TDL channel, noise, and interference
+	// (Channel.Transmit).
+	StageChannel
+	// StageFrontEnd covers the receiver front end: FFTs, channel estimate,
+	// pilot-aided noise estimate, SNR measurement.
+	StageFrontEnd
+	// StageDetect covers energy detection of silence symbols.
+	StageDetect
+	// StageControlDecode covers interval extraction and control-bit
+	// decoding from the detected silence mask.
+	StageControlDecode
+	// StageEVD covers the erasure Viterbi decode: demap, deinterleave,
+	// depuncture, Viterbi, descramble, FCS check.
+	StageEVD
+	// StageFeedback covers the receiver's EVM recomputation, subcarrier
+	// selection, and (with WithExplicitFeedback) the reverse-channel frame.
+	// Stages FrontEnd through Feedback run inside Receiver.Receive.
+	StageFeedback
+
+	// StageCount is the number of stages; it is not itself a stage.
+	StageCount
+)
+
+var stageNames = [StageCount]string{
+	"tx_encode", "channel", "rx_frontend", "detect",
+	"control_decode", "evd_decode", "feedback",
+}
+
+// String returns the stage's snake_case name as used in metric names and
+// the trace schema's stage_ns keys.
+func (s Stage) String() string {
+	if s < 0 || s >= StageCount {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// StageNames returns the names of all pipeline stages in Stage order.
+func StageNames() []string {
+	return append([]string(nil), stageNames[:]...)
+}
+
+// span starts the timed section for one pipeline stage. Every node goes
+// through this helper, so this file holds the complete mapping from Stage
+// to recorded span.
+func (m *linkMetrics) span(s Stage) obs.Span {
+	return m.spans.StartSpan(int(s))
+}

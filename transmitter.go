@@ -1,0 +1,282 @@
+package cos
+
+import (
+	"fmt"
+
+	"cos/internal/bits"
+	icos "cos/internal/cos"
+	"cos/internal/phy"
+)
+
+// Frame is one encoded transmission: the output of Transmitter.Encode and
+// the input to Channel.Transmit / Receiver.Receive. Its slice fields alias
+// the transmitter's scratch storage, so a frame is valid only until the
+// next Encode on the same transmitter.
+type Frame struct {
+	// Mode is the 802.11a mode the transmitter selected.
+	Mode phy.Mode
+	// DataBytes is the data payload length in bytes.
+	DataBytes int
+	// PSDULen is the PSDU length (data + FCS) in bytes.
+	PSDULen int
+	// Samples are the baseband time-domain samples to push through the
+	// channel: preamble plus cyclic-prefixed OFDM payload symbols.
+	Samples []complex128
+	// Packet is the underlying transmit packet (grid already carries the
+	// embedded silences).
+	Packet *phy.TxPacket
+	// ControlSubcarriers is the control subcarrier set used for this frame.
+	ControlSubcarriers []int
+	// ControlBits are the control bits the caller asked to embed (before
+	// framing/padding); empty for a data-only frame.
+	ControlBits []byte
+	// TruthMask is the ground-truth silence mask the transmitter embedded,
+	// or nil for a data-only frame.
+	TruthMask [][]bool
+	// SilencesInserted is the number of silence symbols embedded.
+	SilencesInserted int
+}
+
+// LinkFeedback is what the receiver feeds back to the transmitter after a
+// successful exchange: the smoothed SNR report and the selected control
+// subcarriers (Fig. 8's closed loop).
+type LinkFeedback struct {
+	// MeasuredSNRdB is the receiver's (smoothed) SNR report.
+	MeasuredSNRdB float64
+	// ControlSubcarriers is the selected control set; empty when no
+	// subcarrier was detectable.
+	ControlSubcarriers []int
+	// NoDetectable reports that the receiver found no subcarrier on which
+	// silences could be detected; the transmitter pauses CoS.
+	NoDetectable bool
+}
+
+// Transmitter is the sender-side pipeline node: it selects the data mode
+// and silence budget from the last feedback, runs the 802.11a transmit
+// chain, embeds control bits as silences, and renders baseband samples.
+// It owns a reusable scratch arena, so steady-state Encode calls do not
+// allocate; the returned Frame aliases that arena and is valid until the
+// next Encode. A Transmitter is not safe for concurrent use.
+type Transmitter struct {
+	cfg     config
+	rateTbl *icos.RateTable
+	metrics *linkMetrics
+
+	// Feedback state (valid after the first ApplyFeedback).
+	haveFeedback bool
+	// noDetectable records that the last feedback found no subcarrier on
+	// which silences could be detected: CoS pauses (budget 0) rather than
+	// falling back to the bootstrap set on a channel known to be hostile.
+	noDetectable bool
+	ctrlSCs      []int
+	measuredSNR  float64
+
+	// Scratch, reused across Encodes.
+	phy       phy.TxScratch
+	psdu      []byte
+	framed    []byte
+	padded    []byte
+	intervals []int
+	positions []icos.Pos
+	truthMask [][]bool
+	samples   []complex128
+	frame     Frame
+}
+
+// NewTransmitter builds a standalone transmitter node from link options.
+// Inside a Link the transmitter is wired up by NewLink; standalone nodes
+// are for multi-link topologies where sender and receiver are driven
+// separately.
+func NewTransmitter(opts ...Option) (*Transmitter, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	m := newLinkMetrics(cfg.metrics)
+	return newTransmitter(cfg, &m), nil
+}
+
+func newTransmitter(cfg config, m *linkMetrics) *Transmitter {
+	return &Transmitter{cfg: cfg, rateTbl: icos.DefaultRateTable(), metrics: m}
+}
+
+// Mode returns the data mode the next Encode will use.
+func (t *Transmitter) Mode() (phy.Mode, error) {
+	if t.cfg.fixedRateMbps != 0 {
+		return phy.ModeByRate(t.cfg.fixedRateMbps)
+	}
+	if !t.haveFeedback {
+		// No feedback yet: most robust mode.
+		return phy.ModeByRate(6)
+	}
+	return phy.SelectMode(t.measuredSNR), nil
+}
+
+// SilenceBudget returns the per-packet silence budget for the next frame.
+func (t *Transmitter) SilenceBudget() int {
+	if !t.cfg.adaptiveBudget {
+		return t.cfg.silenceBudget
+	}
+	if !t.haveFeedback {
+		// Sec. III-F: without feedback (e.g. after a loss) use the lowest
+		// control rate.
+		return t.rateTbl.Fallback()
+	}
+	snr := t.measuredSNR
+	if t.cfg.fixedRateMbps != 0 {
+		// The budget table is calibrated against the adaptive SNR->mode
+		// mapping. With a pinned rate, clamp the lookup into that mode's
+		// band: above the band the pinned mode has *more* headroom than the
+		// adaptive mode the table assumes, so the band-top budget is a
+		// conservative choice.
+		snr = clampToBand(snr, t.cfg.fixedRateMbps)
+	}
+	return t.rateTbl.Lookup(snr)
+}
+
+// MaxControlBits reports how many control bits the next Encode can embed
+// for a payload of dataLen bytes, accounting for the current budget, the
+// control subcarrier set, and worst-case interval layout.
+func (t *Transmitter) MaxControlBits(dataLen int) (int, error) {
+	if t.cfg.disableCoS || t.noDetectable {
+		return 0, nil
+	}
+	mode, err := t.Mode()
+	if err != nil {
+		return 0, err
+	}
+	budget := t.SilenceBudget()
+	k := t.cfg.bitsPerInterval
+	byBudget := (budget - 1) * k
+	if byBudget < 0 {
+		byBudget = 0
+	}
+	if t.cfg.controlFraming {
+		byBudget -= icos.FramedBits(0, k) // header+CRC ride in the budget
+		if byBudget < 0 {
+			byBudget = 0
+		}
+	}
+	nSym := mode.SymbolsForPSDU(dataLen + bits.FCSLen)
+	nCtrl := len(t.ctrlSCs)
+	if nCtrl == 0 {
+		nCtrl = t.cfg.minCtrl
+	}
+	byCapacity := icos.MaxMessageBits(nSym, nCtrl, k)
+	if byCapacity < byBudget {
+		return byCapacity, nil
+	}
+	return byBudget, nil
+}
+
+// ControlSubcarriers returns the control subcarrier set the next Encode
+// will use (a copy).
+func (t *Transmitter) ControlSubcarriers() []int {
+	src := t.ctrlSCs
+	if len(src) == 0 {
+		src = defaultCtrlSCs
+	}
+	out := make([]int, len(src))
+	copy(out, src)
+	return out
+}
+
+// Encode builds one frame: FCS, the 802.11a transmit chain, control-bit
+// embedding as silences, and sample generation. len(control) must be a
+// multiple of the configured bits-per-interval and fit within
+// MaxControlBits; pass nil for a data-only frame. The returned frame
+// aliases the transmitter's scratch and is valid until the next Encode.
+func (t *Transmitter) Encode(data, control []byte) (*Frame, error) {
+	mode, err := t.Mode()
+	if err != nil {
+		return nil, err
+	}
+	if t.cfg.disableCoS && len(control) > 0 {
+		return nil, fmt.Errorf("cos: control bits on a CoS-disabled link: %w", ErrCoSDisabled)
+	}
+
+	sp := t.metrics.span(StageTxEncode)
+	t.psdu = bits.AppendFCSInto(t.psdu, data)
+	pkt, err := phy.BuildPacketInto(&t.phy, phy.TxConfig{Mode: mode}, t.psdu)
+	if err != nil {
+		return nil, err
+	}
+	ctrlSCs := t.ctrlSCs
+	if len(ctrlSCs) == 0 {
+		ctrlSCs = defaultCtrlSCs
+	}
+	f := &t.frame
+	*f = Frame{
+		Mode:               mode,
+		DataBytes:          len(data),
+		PSDULen:            len(t.psdu),
+		Packet:             pkt,
+		ControlSubcarriers: ctrlSCs,
+		ControlBits:        control,
+	}
+
+	if len(control) > 0 {
+		maxBits, err := t.MaxControlBits(len(data))
+		if err != nil {
+			return nil, err
+		}
+		if len(control) > maxBits {
+			return nil, fmt.Errorf("cos: %d control bits exceed the current budget of %d: %w", len(control), maxBits, ErrBudgetExceeded)
+		}
+		wire := control
+		if t.cfg.controlFraming {
+			t.framed, err = icos.FrameControlInto(t.framed, control)
+			if err != nil {
+				return nil, err
+			}
+			t.padded, err = icos.PadToIntervalInto(t.padded, t.framed, t.cfg.bitsPerInterval)
+			if err != nil {
+				return nil, err
+			}
+			wire = t.padded
+		} else if len(control)%t.cfg.bitsPerInterval != 0 {
+			return nil, fmt.Errorf("cos: %d control bits is not a multiple of k=%d (or use WithControlFraming): %w",
+				len(control), t.cfg.bitsPerInterval, ErrControlAlignment)
+		}
+		t.intervals, err = icos.EncodeIntervalsInto(t.intervals, wire, t.cfg.bitsPerInterval)
+		if err != nil {
+			return nil, err
+		}
+		t.positions, err = icos.LayoutInto(t.positions, t.intervals, pkt.NumSymbols(), ctrlSCs)
+		if err != nil {
+			return nil, err
+		}
+		t.truthMask, err = icos.InsertSilencesInto(t.truthMask, pkt.Grid, t.positions)
+		if err != nil {
+			return nil, err
+		}
+		f.TruthMask = t.truthMask
+		f.SilencesInserted = icos.MaskCount(t.truthMask, ctrlSCs)
+	}
+
+	t.samples, err = pkt.SamplesInto(t.samples)
+	if err != nil {
+		return nil, err
+	}
+	f.Samples = t.samples
+	sp.End()
+	return f, nil
+}
+
+// ApplyFeedback installs the receiver's feedback; it governs the mode,
+// budget, and control set of subsequent Encodes.
+func (t *Transmitter) ApplyFeedback(fb LinkFeedback) {
+	t.haveFeedback = true
+	t.measuredSNR = fb.MeasuredSNRdB
+	t.ctrlSCs = fb.ControlSubcarriers
+	t.noDetectable = fb.NoDetectable
+}
+
+// NoteLoss records that the last exchange produced no usable feedback
+// (data or feedback-frame loss): the transmitter falls back to
+// conservative settings for the next frame (Sec. III-F).
+func (t *Transmitter) NoteLoss() {
+	t.haveFeedback = false
+	t.noDetectable = false
+	t.ctrlSCs = nil
+}
