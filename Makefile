@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -25,7 +25,9 @@ race:
 # refactor's byte-equality + steady-state alloc guards, the node wiring
 # under the race detector, and the parallel engine's determinism/
 # cancellation tests under the race detector (the parallel tests exercise
-# workers 2, 4 and 7 internally).
+# workers 2, 4 and 7 internally), plus the serve daemon's drain and
+# cancellation paths under the race detector (signal-vs-submit,
+# drain-window expiry, and client cancellation all race by design).
 ci: build vet
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -33,6 +35,8 @@ ci: build vet
 	$(GO) test -run 'TestPipelineGolden|TestLinkSendSteadyStateAllocs|TestStandaloneNodesMatchLink' .
 	$(GO) test -race -run 'TestPipelineNodesRace|TestStandaloneNodesMatchLink' .
 	$(GO) test -race -run 'TestParallelMatchesSerial|TestRunnerCancellation' ./internal/experiments/
+	$(GO) test -race -run 'TestServerDrain|TestServerDrainCancelsSlowJobs|TestJobCancel|TestDeterministicNDJSON' ./internal/serve/
+	$(GO) test -race -run 'TestSIGTERMDrainsGracefully' ./cmd/cos-serve/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -55,6 +59,13 @@ bench-trace:
 # the frozen pre-split baseline re-measured on the same container.
 bench-pipeline:
 	$(GO) test -run TestWriteBenchPipelineReport -bench-pipeline-out BENCH_pipeline.json -v .
+
+# Regenerate BENCH_serve.json: saturates a GOMAXPROCS-sharded cos-serve
+# pool with small link jobs for a fixed window (resubmitting on 429) and
+# records sustained jobs/sec plus p50/p99 job latency from the server's
+# own status timestamps.
+bench-serve:
+	$(GO) test -v ./internal/serve/ -run TestWriteBenchServeReport -bench-serve-out $(CURDIR)/BENCH_serve.json
 
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:

@@ -18,40 +18,35 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
-	"syscall"
 
+	"cos/internal/cli"
 	"cos/internal/experiments"
-	"cos/internal/obs/obshttp"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "experiment ID (see -list) or 'all'")
-		scale    = flag.Float64("scale", 1, "sample-size scale; 1 = publication quality")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for point-tasks (results identical for any count)")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		out      = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
-		plot     = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
-		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
+		fig     = flag.String("fig", "all", "experiment ID (see -list) or 'all'")
+		scale   = flag.Float64("scale", 1, "sample-size scale; 1 = publication quality")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for point-tasks (results identical for any count)")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		out     = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
+		plot    = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
+	obsAddr, obsStats := cli.ObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
+	app, err := cli.Boot(*obsAddr, *obsStats, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
 		os.Exit(1)
 	}
-	defer stopObs()
+	defer app.Close()
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -62,8 +57,7 @@ func main() {
 
 	// Ctrl-C (or SIGTERM) cancels the context; the point-task pool drains
 	// and the run exits mid-sweep instead of finishing the figure.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx := app.Context()
 
 	opts := experiments.RunOptions{Scale: *scale, Workers: *workers, Seed: *seed}
 	ids := []string{*fig}
@@ -73,9 +67,9 @@ func main() {
 	for _, id := range ids {
 		res, err := experiments.Run(ctx, id, opts)
 		if err != nil {
-			if errors.Is(err, context.Canceled) {
+			if cli.Interrupted(err) {
 				fmt.Fprintf(os.Stderr, "cos-figures: %s: interrupted\n", id)
-				os.Exit(130)
+				os.Exit(cli.ExitInterrupted)
 			}
 			fmt.Fprintf(os.Stderr, "cos-figures: %s: %v\n", id, err)
 			os.Exit(1)

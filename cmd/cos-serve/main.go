@@ -1,0 +1,116 @@
+// Command cos-serve is the long-lived CoS simulation service: an HTTP/JSON
+// API that accepts simulation jobs — link exchanges, control streams, WLAN
+// coordination rounds, and named experiment figures — runs them on a
+// sharded worker pool with deterministic per-job seeds, and streams each
+// job's results back as NDJSON.
+//
+//	cos-serve -addr :8866 -shards 4 -queue-depth 32
+//	cos-serve -addr :8866 -metrics-addr :8080 -stats 10s
+//
+// Submit with plain curl:
+//
+//	curl -d '{"kind":"link","packets":200,"seed":7}' localhost:8866/jobs
+//	curl localhost:8866/jobs/job-000001
+//	curl -N localhost:8866/jobs/job-000001/result
+//
+// Admission is bounded: when a shard queue is full, submits fail with 429
+// and a Retry-After hint. On SIGTERM (or SIGINT) the daemon drains
+// gracefully — it stops admitting (submits then get 503), gives queued and
+// running jobs the -drain window to finish, cancels the rest, flushes
+// metrics, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"cos/internal/cli"
+	"cos/internal/serve"
+	servehttp "cos/internal/serve/http"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// notifyReady, when non-nil, receives the bound listen address once the
+// API is accepting requests. Tests hook it to find the ephemeral port.
+var notifyReady func(addr string)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cos-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8866", "HTTP listen address for the job API")
+		shards     = fs.Int("shards", 2, "worker shards (max jobs in flight)")
+		queueDepth = fs.Int("queue-depth", 16, "queued jobs per shard before submits get 429")
+		timeout    = fs.Duration("timeout", 60*time.Second, "default per-job deadline (specs may override with timeout_ms)")
+		drain      = fs.Duration("drain", 5*time.Second, "drain window: time in-flight jobs get to finish after SIGTERM")
+	)
+	obsAddr, obsStats := cli.ObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	app, err := cli.Boot(*obsAddr, *obsStats, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "cos-serve: %v\n", err)
+		return 1
+	}
+	defer app.Close()
+
+	srv := serve.New(serve.Config{
+		Shards:         *shards,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "cos-serve: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: servehttp.NewHandler(srv)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "cos-serve: serving job API on http://%s (shards=%d queue-depth=%d)\n",
+		ln.Addr(), *shards, *queueDepth)
+	if notifyReady != nil {
+		notifyReady(ln.Addr().String())
+	}
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "cos-serve: %v\n", err)
+		return 1
+	case <-app.Context().Done():
+	}
+
+	// Graceful drain: admission stops first, so requests racing the signal
+	// see 503 while status and result streams keep working until every job
+	// is terminal (or the window expires and the rest are cancelled).
+	fmt.Fprintf(stdout, "cos-serve: signal received, draining (window %v)\n", *drain)
+	clean := srv.Drain(*drain)
+	// Every job is now terminal, so open result streams hit EOF on their
+	// own; Shutdown (not Close) lets those final flushes reach the client.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	httpSrv.Shutdown(shutdownCtx)
+	cancel()
+	app.Close() // flush the stats logger and release the metrics listener
+	if clean {
+		fmt.Fprintln(stdout, "cos-serve: drained cleanly")
+	} else {
+		fmt.Fprintln(stdout, "cos-serve: drain window expired; remaining jobs cancelled")
+	}
+	return 0
+}

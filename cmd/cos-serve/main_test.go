@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cos/internal/serve"
+	"cos/internal/serve/client"
+)
+
+// TestSIGTERMDrainsGracefully is the daemon's end-to-end acceptance test:
+// start the real run() loop on an ephemeral port, put a job in flight, send
+// the process SIGTERM, and verify that (1) admission stops — a subsequent
+// submit gets a 503 — (2) the in-flight job completes inside the drain
+// window with its full NDJSON body readable, and (3) run() exits 0.
+func TestSIGTERMDrainsGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the daemon loop and sends a real SIGTERM")
+	}
+
+	ready := make(chan string, 1)
+	notifyReady = func(addr string) { ready <- addr }
+	defer func() { notifyReady = nil }()
+
+	var stdout, stderr strings.Builder
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-drain", "30s"}, &stdout, &stderr)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never became ready; stderr: %s", stderr.String())
+	}
+
+	ctx := context.Background()
+	c := client.New("http://" + addr)
+
+	// A moderate job: long enough to still be in flight when the signal
+	// lands, short enough to finish well inside the drain window even with
+	// the race detector's ~10x slowdown (make ci runs this under -race).
+	st, err := c.Submit(ctx, serve.Spec{Kind: serve.KindLink, Seed: 9, Packets: 400, PayloadBytes: 256})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	// Admission must stop: poll until a fresh submit is rejected with 503.
+	// (The daemon keeps serving status/result during the drain, so the API
+	// stays reachable; only submits are refused.)
+	deadline := time.Now().Add(30 * time.Second)
+	sawDraining := false
+	for time.Now().Before(deadline) {
+		_, err := c.Submit(ctx, serve.Spec{Kind: serve.KindLink, Packets: 1, PayloadBytes: 64})
+		var apiErr *client.APIError
+		if ok := errorAs(err, &apiErr); ok && apiErr.Draining() {
+			sawDraining = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Fatal("submits were never rejected with 503 after SIGTERM")
+	}
+
+	// The in-flight job must finish (not be cancelled) and its result body
+	// must stream to completion while the daemon drains.
+	body, err := c.ResultBytes(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("result during drain: %v", err)
+	}
+	if n := strings.Count(string(body), "\n"); n != 401 { // 400 packets + summary
+		t.Fatalf("drained job result has %d records, want 401", n)
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err == nil && final.State != "done" {
+		t.Fatalf("in-flight job finished %q (err %q), want done", final.State, final.Error)
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("run() exited %d, want 0; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("run() did not exit after drain; stdout: %s", stdout.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "drained cleanly") {
+		t.Fatalf("daemon did not report a clean drain:\n%s", out)
+	}
+}
+
+// TestBadFlagsExit2 pins the CLI contract for unknown flags.
+func TestBadFlagsExit2(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-no-such-flag) = %d, want 2", code)
+	}
+}
+
+func errorAs(err error, target **client.APIError) bool {
+	if err == nil {
+		return false
+	}
+	e, ok := err.(*client.APIError)
+	if ok {
+		*target = e
+	}
+	return ok
+}

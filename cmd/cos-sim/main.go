@@ -18,18 +18,15 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"os/signal"
 	"runtime"
 	"strings"
-	"syscall"
 
 	"cos"
-	"cos/internal/obs/obshttp"
+	"cos/internal/cli"
 	"cos/internal/pool"
 	"cos/internal/trace"
 )
@@ -87,17 +84,16 @@ func main() {
 		verbose  = flag.Bool("v", false, "print each packet (single run only)")
 		traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file (single run only)")
 		probeN   = flag.Int("probe", 0, "record a PHY introspection probe every N packets into the trace (0 = off; needs -trace)")
-		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
-		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
 	)
+	obsAddr, obsStats := cli.ObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
+	app, err := cli.Boot(*obsAddr, *obsStats, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
 		os.Exit(1)
 	}
-	defer stopObs()
+	defer app.Close()
 
 	pos, err := positionByName(*posName)
 	if err != nil {
@@ -121,8 +117,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx := app.Context()
 
 	// Trace capture rides the link's observer hook: one event stream
 	// feeds the trace file, the metrics registry, and the printed stats.
@@ -253,9 +248,9 @@ func main() {
 	})
 	if err != nil {
 		closeTrace() // os.Exit skips defers; keep the partial trace readable
-		if errors.Is(err, context.Canceled) {
+		if cli.Interrupted(err) {
 			fmt.Fprintln(os.Stderr, "cos-sim: interrupted")
-			os.Exit(130)
+			os.Exit(cli.ExitInterrupted)
 		}
 		fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
 		os.Exit(1)

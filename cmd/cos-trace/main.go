@@ -18,7 +18,7 @@ import (
 	"os"
 	"sort"
 
-	"cos/internal/obs/obshttp"
+	"cos/internal/cli"
 	"cos/internal/trace"
 )
 
@@ -90,18 +90,17 @@ func readTrace(path string, stderr io.Writer) ([]trace.Event, int, bool) {
 
 func runSummary(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
-	obsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
-	obsStats := fs.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
+	obsAddr, obsStats := cli.ObsFlags(fs)
 	path, ok := parseTraceArg(fs, args, stderr)
 	if !ok {
 		return 2
 	}
-	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
+	app, err := cli.Boot(*obsAddr, *obsStats, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "cos-trace: %v\n", err)
 		return 1
 	}
-	defer stopObs()
+	defer app.Close()
 	events, version, ok := readTrace(path, stderr)
 	if !ok {
 		return 1

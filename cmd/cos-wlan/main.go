@@ -5,6 +5,8 @@
 //
 //	cos-wlan -stations 3 -rounds 100 -snr 18
 //	cos-wlan -rounds 2000 -metrics-addr :8080 -stats 5s
+//
+// Ctrl-C (or SIGTERM) cancels the simulation mid-run and exits 130.
 package main
 
 import (
@@ -12,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"cos/internal/obs/obshttp"
+	"cos/internal/cli"
 	"cos/internal/wlan"
 )
 
@@ -23,17 +25,16 @@ func main() {
 		snr      = flag.Float64("snr", 18, "per-station true SNR in dB")
 		payload  = flag.Int("payload", 1024, "data payload bytes")
 		seed     = flag.Int64("seed", 1, "simulation seed")
-		obsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :8080)")
-		obsStats = flag.Duration("stats", 0, "print a metrics stats line to stderr at this interval (0 = off)")
 	)
+	obsAddr, obsStats := cli.ObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopObs, err := obshttp.Expose(*obsAddr, *obsStats, os.Stderr)
+	app, err := cli.Boot(*obsAddr, *obsStats, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cos-wlan: %v\n", err)
 		os.Exit(1)
 	}
-	defer stopObs()
+	defer app.Close()
 
 	run := func(coord wlan.Coordination) *wlan.Report {
 		n, err := wlan.New(wlan.Config{
@@ -47,8 +48,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cos-wlan: %v\n", err)
 			os.Exit(1)
 		}
-		rep, err := n.Run(*rounds)
+		rep, err := n.RunContext(app.Context(), *rounds)
 		if err != nil {
+			if cli.Interrupted(err) {
+				fmt.Fprintln(os.Stderr, "cos-wlan: interrupted")
+				os.Exit(cli.ExitInterrupted)
+			}
 			fmt.Fprintf(os.Stderr, "cos-wlan: %v\n", err)
 			os.Exit(1)
 		}

@@ -162,6 +162,8 @@ func TestStreamOutcomeString(t *testing.T) {
 		StreamFragmentLost:    "fragment-lost",
 		StreamHeaderCorrupted: "header-corrupted",
 		StreamOutcome(0):      "StreamOutcome(0)",
+		StreamOutcome(42):     "StreamOutcome(42)",
+		StreamOutcome(-1):     "StreamOutcome(-1)",
 	}
 	for o, want := range cases {
 		if got := o.String(); got != want {

@@ -1,0 +1,115 @@
+package cos
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLibraryPackagesStayTransportFree freezes the layering rule introduced
+// in PR 1 and extended by the serve subsystem: HTTP (and the other
+// network-facing stdlib surfaces) may appear only at the edges —
+// cmd/ binaries, internal/obs/obshttp, internal/cli, and the serve
+// transport/client packages. The simulation core must stay importable from
+// any context without dragging a server stack in.
+//
+// The test parses every non-test source file in the module, builds the
+// module-internal import graph, computes the transitive closure of the
+// protected packages, and fails if anything in that closure imports a
+// forbidden package.
+func TestLibraryPackagesStayTransportFree(t *testing.T) {
+	const module = "cos"
+	protected := []string{
+		module,
+		module + "/internal/phy",
+		module + "/internal/coding",
+		module + "/internal/cos",
+		module + "/internal/channel",
+		module + "/internal/serve", // transport-free core; servehttp is the edge
+	}
+	forbidden := func(imp string) bool {
+		return imp == "net/http" ||
+			strings.HasPrefix(imp, "net/http/") ||
+			imp == "expvar" ||
+			imp == "net/rpc"
+	}
+
+	imports := moduleImports(t, module)
+	for _, root := range protected {
+		if _, ok := imports[root]; !ok {
+			t.Fatalf("protected package %s not found in module (renamed?)", root)
+		}
+	}
+
+	// Transitive closure of the protected set over module-internal edges.
+	closure := map[string]bool{}
+	stack := append([]string(nil), protected...)
+	for len(stack) > 0 {
+		pkg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if closure[pkg] {
+			continue
+		}
+		closure[pkg] = true
+		for imp := range imports[pkg] {
+			if imp == module || strings.HasPrefix(imp, module+"/") {
+				stack = append(stack, imp)
+			}
+		}
+	}
+
+	for pkg := range closure {
+		for imp := range imports[pkg] {
+			if forbidden(imp) {
+				t.Errorf("%s imports %s: transport packages must stay out of the simulation core (keep HTTP in cmd/, internal/cli, internal/obs/obshttp, internal/serve/http, internal/serve/client)", pkg, imp)
+			}
+		}
+	}
+}
+
+// moduleImports parses every non-test .go file under the module root and
+// returns importPath -> set of imported paths.
+func moduleImports(t *testing.T, module string) map[string]map[string]bool {
+	t.Helper()
+	imports := map[string]map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		pkg := module
+		if dir := filepath.ToSlash(filepath.Dir(path)); dir != "." {
+			pkg = module + "/" + dir
+		}
+		set := imports[pkg]
+		if set == nil {
+			set = map[string]bool{}
+			imports[pkg] = set
+		}
+		for _, imp := range f.Imports {
+			set[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return imports
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"cos/internal/obs"
+)
+
+// benchServeOut enables TestWriteBenchServeReport; `make bench-serve`
+// points it at BENCH_serve.json.
+var benchServeOut = flag.String("bench-serve-out", "", "write the serve throughput/latency report to this JSON file")
+
+// TestWriteBenchServeReport regenerates BENCH_serve.json (via `make
+// bench-serve`): it saturates a GOMAXPROCS-sharded server with small link
+// jobs for a fixed wall-clock budget, resubmitting on 429 backpressure, and
+// records sustained jobs/sec plus p50/p99 job latency measured from the
+// server's own status timestamps (running -> terminal). It skips itself
+// unless -bench-serve-out is set so `go test ./...` stays fast.
+func TestWriteBenchServeReport(t *testing.T) {
+	if *benchServeOut == "" {
+		t.Skip("set -bench-serve-out to write the report")
+	}
+
+	shards := runtime.GOMAXPROCS(0)
+	s := New(Config{Shards: shards, QueueDepth: 64, Metrics: obs.NewRegistry()})
+	spec := Spec{Kind: KindLink, PayloadBytes: 256, Packets: 50, ControlBits: 32}
+
+	const window = 5 * time.Second
+	start := time.Now()
+	deadline := start.Add(window)
+	var jobs []*Job
+	var rejected int
+	seed := int64(0)
+	for time.Now().Before(deadline) {
+		seed++
+		sp := spec
+		sp.Seed = seed
+		j, err := s.Submit(sp)
+		if err != nil {
+			// Backpressure: the queue is full, which is exactly the
+			// saturation we want. Yield and retry.
+			rejected++
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	elapsed := time.Since(start)
+
+	latencies := make([]float64, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		if st.State != "done" {
+			t.Fatalf("bench job %s finished %q (err %q)", st.ID, st.State, st.Error)
+		}
+		latencies = append(latencies, st.FinishedAt.Sub(*st.StartedAt).Seconds())
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+
+	report := struct {
+		Description   string  `json:"description"`
+		Shards        int     `json:"shards"`
+		QueueDepth    int     `json:"queue_depth"`
+		WindowSeconds float64 `json:"window_seconds"`
+		JobsCompleted int     `json:"jobs_completed"`
+		Rejected429   int     `json:"rejected_429"`
+		JobsPerSecond float64 `json:"jobs_per_second"`
+		P50JobSeconds float64 `json:"p50_job_seconds"`
+		P99JobSeconds float64 `json:"p99_job_seconds"`
+		SpecPackets   int     `json:"spec_packets"`
+		SpecPayloadB  int     `json:"spec_payload_bytes"`
+		GoVersion     string  `json:"go_version"`
+	}{
+		Description:   "cos-serve sustained throughput: small link jobs submitted against a GOMAXPROCS-sharded pool until the wall-clock window closes, resubmitting on 429; latency is running->terminal from the server's own status timestamps",
+		Shards:        shards,
+		QueueDepth:    64,
+		WindowSeconds: elapsed.Seconds(),
+		JobsCompleted: len(jobs),
+		Rejected429:   rejected,
+		JobsPerSecond: float64(len(jobs)) / elapsed.Seconds(),
+		P50JobSeconds: pct(0.50),
+		P99JobSeconds: pct(0.99),
+		SpecPackets:   spec.Packets,
+		SpecPayloadB:  spec.PayloadBytes,
+		GoVersion:     runtime.Version(),
+	}
+	if !s.Drain(30 * time.Second) {
+		t.Fatal("bench server did not drain cleanly")
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchServeOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.0f jobs/sec, p99 %.1fms over %d jobs (%d rejections)",
+		*benchServeOut, report.JobsPerSecond, report.P99JobSeconds*1e3, len(jobs), rejected)
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"io"
+	"sync"
+)
+
+// buffer is an append-only byte log with blocking readers: the job's
+// executor writes NDJSON records as they are produced, and any number of
+// concurrent readers stream them from the start. Close marks the log
+// final, after which drained readers return io.EOF.
+type buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+}
+
+func newBuffer() *buffer {
+	b := &buffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Write appends p; it never fails and never blocks on readers.
+func (b *buffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.data = append(b.data, p...)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+// Close marks the stream complete and wakes blocked readers. Idempotent.
+func (b *buffer) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Len returns the bytes written so far.
+func (b *buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.data)
+}
+
+// Bytes returns a copy of the full stream written so far.
+func (b *buffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]byte, len(b.data))
+	copy(out, b.data)
+	return out
+}
+
+// Reader returns an independent reader positioned at the start.
+func (b *buffer) Reader() *ResultReader { return &ResultReader{b: b} }
+
+// ResultReader streams a job's NDJSON result bytes. Read blocks while the
+// job is still producing output and returns io.EOF once the stream is
+// closed and fully consumed. A ResultReader is not safe for concurrent
+// use; take one per consumer.
+type ResultReader struct {
+	b   *buffer
+	off int
+}
+
+// Read implements io.Reader.
+func (r *ResultReader) Read(p []byte) (int, error) {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for r.off >= len(b.data) && !b.closed {
+		b.cond.Wait()
+	}
+	if r.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+var _ io.Reader = (*ResultReader)(nil)

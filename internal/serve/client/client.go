@@ -1,0 +1,218 @@
+// Package client is a small Go client for the cos-serve HTTP API. The
+// daemon's own tests are its first consumer; it wraps submit, status,
+// cancellation, and NDJSON result streaming with typed errors that expose
+// the server's admission decisions (429 overload with Retry-After, 503
+// drain).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cos/internal/serve"
+)
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the parsed Retry-After hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Overloaded reports a 429 admission rejection.
+func (e *APIError) Overloaded() bool { return e.StatusCode == http.StatusTooManyRequests }
+
+// Draining reports a 503 drain rejection.
+func (e *APIError) Draining() bool { return e.StatusCode == http.StatusServiceUnavailable }
+
+// Client talks to one cos-serve instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8866".
+	BaseURL string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes error envelopes into *APIError.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
+		apiErr.Message = body.Error
+	}
+	return nil, apiErr
+}
+
+// Submit posts a job spec and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, spec serve.Spec) (serve.Status, error) {
+	var st serve.Status
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return st, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (serve.Status, error) {
+	var st serve.Status
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Jobs lists every job's status in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]serve.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var sts []serve.Status
+	return sts, json.NewDecoder(resp.Body).Decode(&sts)
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Result opens the job's NDJSON result stream. The reader delivers records
+// as the job produces them and ends when the job reaches a terminal state;
+// the caller must Close it.
+func (c *Client) Result(ctx context.Context, id string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// ResultBytes reads the job's complete NDJSON result body, blocking until
+// the job is terminal.
+func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	body, err := c.Result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return io.ReadAll(body)
+}
+
+// Wait polls until the job reaches a terminal state and returns its final
+// status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve.Status, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Terminal {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Healthy reports whether the server is admitting jobs (GET /healthz).
+func (c *Client) Healthy(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Draining() {
+			return false, nil
+		}
+		return false, err
+	}
+	resp.Body.Close()
+	return true, nil
+}

@@ -1,0 +1,152 @@
+// Package servehttp is the HTTP/JSON transport for internal/serve. It is
+// the only place HTTP types touch the serve subsystem — the core stays
+// transport-free per the repository's layering rule (net/http never enters
+// library packages; the import-hygiene test freezes this).
+//
+// Routes:
+//
+//	POST /jobs              submit a serve.Spec; 202 + job status
+//	GET  /jobs              list all job statuses
+//	GET  /jobs/{id}         one job's status
+//	GET  /jobs/{id}/result  stream the job's NDJSON results
+//	POST /jobs/{id}/cancel  request cancellation
+//	GET  /healthz           200 while admitting, 503 while draining
+//
+// Admission pressure maps to status codes: a full shard queue returns 429
+// with a Retry-After hint, and a draining server returns 503.
+package servehttp
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"cos/internal/serve"
+)
+
+// errorBody is the JSON error envelope for every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// RetryAfterSeconds is the hint sent with 429 responses.
+const RetryAfterSeconds = "1"
+
+// NewHandler routes the serve API onto s.
+func NewHandler(s *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		submit(s, w, r)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookup(s, w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookup(s, w, r)
+		if !ok {
+			return
+		}
+		streamResult(job, w, r)
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookup(s, w, r)
+		if !ok {
+			return
+		}
+		if err := s.Cancel(job.ID()); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			writeError(w, http.StatusServiceUnavailable, serve.ErrDraining)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func submit(s *serve.Server, w http.ResponseWriter, r *http.Request) {
+	var spec serve.Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/jobs/"+job.ID())
+		writeJSON(w, http.StatusAccepted, job.Status())
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", RetryAfterSeconds)
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, serve.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default: // spec validation
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func lookup(s *serve.Server, w http.ResponseWriter, r *http.Request) (*serve.Job, bool) {
+	job, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return job, true
+}
+
+// streamResult copies the job's NDJSON stream to the client, flushing each
+// chunk so records arrive while the job is still running. The copy ends at
+// the job's terminal state (reader EOF) or when the client disconnects.
+func streamResult(job *serve.Job, w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	reader := job.Result()
+	buf := make([]byte, 32*1024)
+	for {
+		if r.Context().Err() != nil {
+			return
+		}
+		n, err := reader.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return // io.EOF: stream complete
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+
+	"cos"
+	"cos/internal/experiments"
+	"cos/internal/wlan"
+)
+
+// run executes a normalized spec, writing NDJSON records to w in
+// simulation order. Every record is a struct (never a map), so field
+// order — and therefore the byte stream — is deterministic; all
+// randomness derives from spec.Seed.
+func run(ctx context.Context, spec Spec, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	switch spec.Kind {
+	case KindLink:
+		return runLink(ctx, spec, enc)
+	case KindStream:
+		return runStream(ctx, spec, enc)
+	case KindWLAN:
+		return runWLAN(ctx, spec, enc)
+	case KindFigure:
+		return runFigure(ctx, spec, enc)
+	default:
+		// Validate rejected unknown kinds at admission; reaching here is a
+		// programming error, reported as a failed job rather than a panic.
+		return &ConfigError{Field: "kind", Reason: "unknown kind " + string(spec.Kind)}
+	}
+}
+
+// ConfigError reports a spec field the executor could not honor.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string { return "serve: " + e.Field + ": " + e.Reason }
+
+// linkOptions builds the cos.Link options shared by link and stream jobs.
+func linkOptions(spec Spec) ([]cos.Option, error) {
+	pos, err := parsePosition(spec.Position)
+	if err != nil {
+		return nil, err
+	}
+	opts := []cos.Option{
+		cos.WithPosition(pos),
+		cos.WithSNR(spec.SNRdB),
+		cos.WithSeed(spec.Seed),
+	}
+	if spec.Mobile {
+		opts = append(opts, cos.WithMobile())
+	}
+	return opts, nil
+}
+
+// packetRecord is one link exchange.
+type packetRecord struct {
+	Type          string  `json:"type"` // "packet"
+	Seq           int     `json:"seq"`
+	RateMbps      int     `json:"rate_mbps"`
+	DataOK        bool    `json:"data_ok"`
+	CtrlBitsSent  int     `json:"ctrl_bits_sent"`
+	CtrlOK        bool    `json:"ctrl_ok"`
+	Silences      int     `json:"silences"`
+	MeasuredSNRdB float64 `json:"measured_snr_db"`
+}
+
+// linkSummary closes a link job's stream.
+type linkSummary struct {
+	Type              string  `json:"type"` // "link_summary"
+	Packets           int     `json:"packets"`
+	DataDelivered     int     `json:"data_delivered"`
+	CtrlSent          int     `json:"ctrl_sent"`
+	CtrlDelivered     int     `json:"ctrl_delivered"`
+	CtrlBitsDelivered int     `json:"ctrl_bits_delivered"`
+	Silences          int     `json:"silences"`
+	FalsePositives    int     `json:"detector_false_positives"`
+	FalseNegatives    int     `json:"detector_false_negatives"`
+	MeanMeasuredSNRdB float64 `json:"mean_measured_snr_db"`
+	ElapsedSimSeconds float64 `json:"elapsed_sim_seconds"`
+}
+
+func runLink(ctx context.Context, spec Spec, enc *json.Encoder) error {
+	opts, err := linkOptions(spec)
+	if err != nil {
+		return err
+	}
+	link, err := cos.NewLink(opts...)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	data := make([]byte, spec.PayloadBytes)
+	sum := linkSummary{Type: "link_summary", Packets: spec.Packets}
+	for i := 0; i < spec.Packets; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rng.Read(data)
+		var ctrl []byte
+		if spec.ControlBits > 0 {
+			budget, err := link.MaxControlBits(len(data))
+			if err != nil {
+				return err
+			}
+			n := spec.ControlBits
+			if n > budget {
+				n = budget
+			}
+			n = n / 4 * 4
+			ctrl = make([]byte, n)
+			for j := range ctrl {
+				ctrl[j] = byte(rng.Intn(2))
+			}
+		}
+		ex, err := link.Send(data, ctrl)
+		if err != nil {
+			return err
+		}
+		if ex.DataOK {
+			sum.DataDelivered++
+		}
+		if len(ex.ControlSent) > 0 {
+			sum.CtrlSent++
+			if ex.ControlOK {
+				sum.CtrlDelivered++
+				sum.CtrlBitsDelivered += len(ex.ControlSent)
+			}
+		}
+		sum.Silences += ex.SilencesInserted
+		sum.FalsePositives += ex.Detection.FalsePositives
+		sum.FalseNegatives += ex.Detection.FalseNegatives
+		sum.MeanMeasuredSNRdB += ex.MeasuredSNRdB
+		if err := enc.Encode(packetRecord{
+			Type:          "packet",
+			Seq:           ex.Seq,
+			RateMbps:      ex.Mode.RateMbps,
+			DataOK:        ex.DataOK,
+			CtrlBitsSent:  len(ex.ControlSent),
+			CtrlOK:        ex.ControlOK,
+			Silences:      ex.SilencesInserted,
+			MeasuredSNRdB: ex.MeasuredSNRdB,
+		}); err != nil {
+			return err
+		}
+	}
+	sum.MeanMeasuredSNRdB /= float64(spec.Packets)
+	sum.ElapsedSimSeconds = link.Now()
+	return enc.Encode(sum)
+}
+
+// streamRecord is one SendStream transfer.
+type streamRecord struct {
+	Type               string `json:"type"` // "stream"
+	Index              int    `json:"index"`
+	Outcome            string `json:"outcome"`
+	Delivered          bool   `json:"delivered"`
+	PacketsUsed        int    `json:"packets_used"`
+	FragmentsSent      int    `json:"fragments_sent"`
+	FragmentsDelivered int    `json:"fragments_delivered"`
+}
+
+// streamSummary closes a stream job's stream.
+type streamSummary struct {
+	Type        string `json:"type"` // "stream_summary"
+	Sends       int    `json:"sends"`
+	Delivered   int    `json:"delivered"`
+	PacketsUsed int    `json:"packets_used"`
+}
+
+func runStream(ctx context.Context, spec Spec, enc *json.Encoder) error {
+	opts, err := linkOptions(spec)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, cos.WithControlFraming())
+	link, err := cos.NewLink(opts...)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	data := make([]byte, spec.PayloadBytes)
+	payload := make([]byte, spec.StreamBits)
+	sum := streamSummary{Type: "stream_summary", Sends: spec.Sends}
+	for i := 0; i < spec.Sends; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rng.Read(data)
+		for j := range payload {
+			payload[j] = byte(rng.Intn(2)) // SendStream takes a bit string
+		}
+		res, err := link.SendStream(payload, data)
+		if err != nil {
+			return err
+		}
+		if res.Delivered {
+			sum.Delivered++
+		}
+		sum.PacketsUsed += res.PacketsUsed
+		if err := enc.Encode(streamRecord{
+			Type:               "stream",
+			Index:              i,
+			Outcome:            res.Outcome.String(),
+			Delivered:          res.Delivered,
+			PacketsUsed:        res.PacketsUsed,
+			FragmentsSent:      res.FragmentsSent,
+			FragmentsDelivered: res.FragmentsDelivered,
+		}); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(sum)
+}
+
+// wlanRecord reports one coordination scheme's run.
+type wlanRecord struct {
+	Type              string  `json:"type"` // "wlan_report"
+	Coordination      string  `json:"coordination"`
+	Rounds            int     `json:"rounds"`
+	DataDelivered     int     `json:"data_delivered"`
+	DataLost          int     `json:"data_lost"`
+	GrantsDelivered   int     `json:"grants_delivered"`
+	GrantsLost        int     `json:"grants_lost"`
+	GrantDeliveryRate float64 `json:"grant_delivery_rate"`
+	DataAirtimeSec    float64 `json:"data_airtime_seconds"`
+	ControlAirtimeSec float64 `json:"control_airtime_seconds"`
+	ControlOverhead   float64 `json:"control_overhead"`
+}
+
+// wlanSummary compares the two schemes.
+type wlanSummary struct {
+	Type                    string  `json:"type"` // "wlan_summary"
+	Stations                int     `json:"stations"`
+	Rounds                  int     `json:"rounds"`
+	OverheadSavedFraction   float64 `json:"overhead_saved_fraction"`
+	ControlAirtimeSavedSec  float64 `json:"control_airtime_saved_seconds"`
+	CoSGrantDeliveryRate    float64 `json:"cos_grant_delivery_rate"`
+	ExplGrantDeliveryRate   float64 `json:"explicit_grant_delivery_rate"`
+	CoSDataDeliveredPerLost float64 `json:"cos_data_delivered_per_lost"`
+}
+
+func runWLAN(ctx context.Context, spec Spec, enc *json.Encoder) error {
+	runOne := func(coord wlan.Coordination) (*wlan.Report, error) {
+		n, err := wlan.New(wlan.Config{
+			Stations:     spec.Stations,
+			SNRdB:        spec.SNRdB,
+			PayloadBytes: spec.PayloadBytes,
+			Coordination: coord,
+			Seed:         spec.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return n.RunContext(ctx, spec.Rounds)
+	}
+	record := func(coord wlan.Coordination, rep *wlan.Report) error {
+		return enc.Encode(wlanRecord{
+			Type:              "wlan_report",
+			Coordination:      coord.String(),
+			Rounds:            rep.Rounds,
+			DataDelivered:     rep.DataDelivered,
+			DataLost:          rep.DataLost,
+			GrantsDelivered:   rep.GrantsDelivered,
+			GrantsLost:        rep.GrantsLost,
+			GrantDeliveryRate: rep.GrantDeliveryRate(),
+			DataAirtimeSec:    rep.DataAirtime,
+			ControlAirtimeSec: rep.ControlAirtime,
+			ControlOverhead:   rep.ControlOverhead(),
+		})
+	}
+	cosRep, err := runOne(wlan.CoordCoS)
+	if err != nil {
+		return err
+	}
+	if err := record(wlan.CoordCoS, cosRep); err != nil {
+		return err
+	}
+	expRep, err := runOne(wlan.CoordExplicit)
+	if err != nil {
+		return err
+	}
+	if err := record(wlan.CoordExplicit, expRep); err != nil {
+		return err
+	}
+	sum := wlanSummary{
+		Type:                   "wlan_summary",
+		Stations:               spec.Stations,
+		Rounds:                 spec.Rounds,
+		ControlAirtimeSavedSec: expRep.ControlAirtime - cosRep.ControlAirtime,
+		CoSGrantDeliveryRate:   cosRep.GrantDeliveryRate(),
+		ExplGrantDeliveryRate:  expRep.GrantDeliveryRate(),
+	}
+	if expRep.ControlOverhead() > 0 {
+		sum.OverheadSavedFraction = 1 - cosRep.ControlOverhead()/expRep.ControlOverhead()
+	}
+	if cosRep.DataLost > 0 {
+		sum.CoSDataDeliveredPerLost = float64(cosRep.DataDelivered) / float64(cosRep.DataLost)
+	}
+	return enc.Encode(sum)
+}
+
+// figureMeta opens a figure job's stream.
+type figureMeta struct {
+	Type   string `json:"type"` // "figure_meta"
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	XLabel string `json:"x_label"`
+	YLabel string `json:"y_label"`
+	Series int    `json:"series"`
+}
+
+// pointRecord is one figure data point.
+type pointRecord struct {
+	Type   string  `json:"type"` // "point"
+	Series string  `json:"series"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+}
+
+// noteRecord carries a figure interpretation note.
+type noteRecord struct {
+	Type string `json:"type"` // "note"
+	Note string `json:"note"`
+}
+
+func runFigure(ctx context.Context, spec Spec, enc *json.Encoder) error {
+	res, err := experiments.Run(ctx, spec.Figure, experiments.RunOptions{
+		Scale:   spec.Scale,
+		Workers: spec.Workers,
+		Seed:    spec.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(figureMeta{
+		Type:   "figure_meta",
+		ID:     res.ID,
+		Title:  res.Title,
+		XLabel: res.XLabel,
+		YLabel: res.YLabel,
+		Series: len(res.Series),
+	}); err != nil {
+		return err
+	}
+	for _, s := range res.Series {
+		for i := range s.X {
+			if err := enc.Encode(pointRecord{Type: "point", Series: s.Name, X: s.X[i], Y: s.Y[i]}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range res.Notes {
+		if err := enc.Encode(noteRecord{Type: "note", Note: n}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

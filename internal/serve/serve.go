@@ -1,0 +1,348 @@
+// Package serve is the transport-free core of the cos-serve daemon: a
+// long-lived job-queue service that runs simulation workloads — link
+// exchanges, control streams, WLAN coordination rounds, and named
+// experiment figures — on a sharded worker pool and streams each job's
+// results as NDJSON.
+//
+// Three properties define the subsystem:
+//
+//   - Bounded admission. Every shard owns a bounded queue; when a job's
+//     shard is full, Submit fails with ErrOverloaded immediately instead
+//     of queueing unboundedly (the HTTP layer maps this to 429 with a
+//     Retry-After hint). Queue depth and jobs in flight are exported as
+//     gauges through internal/obs.
+//
+//   - Determinism. A job's result stream is a pure function of its
+//     normalized Spec: all randomness derives from Spec.Seed, and records
+//     are produced in simulation order, never completion order. Two
+//     submissions of the same spec return byte-identical NDJSON bodies
+//     regardless of shard count or concurrent load.
+//
+//   - Graceful drain. Drain stops admission (Submit fails with
+//     ErrDraining, mapped to 503), lets queued and running jobs finish
+//     inside the drain window, then cancels whatever remains via context.
+//
+// The package deliberately imports no transport: internal/serve/http owns
+// the HTTP/JSON surface, and the PR-1 layering rule (net/http stays out of
+// library packages) is frozen by the repository's import-hygiene test.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cos/internal/obs"
+)
+
+// Typed admission errors; the HTTP layer maps these to status codes.
+var (
+	// ErrOverloaded: the job's shard queue is full (HTTP 429).
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrDraining: the server no longer admits jobs (HTTP 503).
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrUnknownJob: no job with the requested ID (HTTP 404).
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// Config parameterizes a Server. The zero value selects sane defaults.
+type Config struct {
+	// Shards is the worker-shard count; each shard runs jobs serially off
+	// its own bounded queue, so Shards is also the maximum number of jobs
+	// in flight. Zero selects 2.
+	Shards int
+	// QueueDepth bounds each shard's queue (jobs admitted but not yet
+	// running). Zero selects 16.
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline applied when a spec carries
+	// no timeout_ms. Zero selects 60s.
+	DefaultTimeout time.Duration
+	// Metrics receives the server's gauges and counters (default:
+	// obs.Default()).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	return c
+}
+
+// Server is a running job service. Create one with New, submit jobs with
+// Submit, and shut it down with Drain. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+	nextID   uint64
+	nextSh   uint64 // round-robin shard cursor
+	draining bool
+	shards   []chan *Job
+
+	wg        sync.WaitGroup
+	drainOnce sync.Once
+
+	queueDepth   *obs.Gauge
+	inflight     *obs.Gauge
+	submitted    *obs.Counter
+	rejected     *obs.CounterFamily
+	finished     *obs.CounterFamily
+	jobSeconds   *obs.Histogram
+	queueSeconds *obs.Histogram
+}
+
+// New starts a server: Shards worker goroutines, each draining its own
+// bounded queue.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		shards:     make([]chan *Job, cfg.Shards),
+
+		queueDepth: cfg.Metrics.Gauge("serve_queue_depth",
+			"Jobs admitted but not yet running, across all shards."),
+		inflight: cfg.Metrics.Gauge("serve_jobs_inflight",
+			"Jobs currently executing on shard workers."),
+		submitted: cfg.Metrics.Counter("serve_jobs_submitted_total",
+			"Jobs admitted to the queue."),
+		rejected: cfg.Metrics.CounterFamily("serve_jobs_rejected_total",
+			"Jobs rejected at admission, by reason (overload, draining, invalid).", "reason"),
+		finished: cfg.Metrics.CounterFamily("serve_jobs_finished_total",
+			"Jobs reaching a terminal state, by state (done, failed, cancelled).", "state"),
+		jobSeconds: cfg.Metrics.Histogram("serve_job_seconds",
+			"Job execution latency (running -> terminal).", nil),
+		queueSeconds: cfg.Metrics.Histogram("serve_job_queue_seconds",
+			"Job queue wait (submitted -> running).", nil),
+	}
+	for i := range s.shards {
+		s.shards[i] = make(chan *Job, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// Submit validates spec, admits a job, and returns it. It fails fast with
+// ErrDraining once Drain has begun and ErrOverloaded when the target
+// shard's queue is full.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	norm := spec.normalized()
+	if err := spec.Validate(); err != nil {
+		s.rejected.With("invalid").Inc()
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.With("draining").Inc()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := &Job{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		spec:      norm,
+		buf:       newBuffer(),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	shard := s.shards[s.nextSh%uint64(len(s.shards))]
+	select {
+	case shard <- job:
+		s.nextSh++
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+		s.mu.Unlock()
+		s.submitted.Inc()
+		s.queueDepth.Add(1)
+		return job, nil
+	default:
+		s.nextID-- // job was never admitted; reuse the ID
+		s.mu.Unlock()
+		s.rejected.With("overload").Inc()
+		return nil, ErrOverloaded
+	}
+}
+
+// Job returns the job with the given ID.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs snapshots every known job's status in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of the job with the given ID. Queued jobs
+// finish cancelled immediately; running jobs stop at their next context
+// poll. Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	wasTerminal := j.State().Terminal()
+	j.requestCancel()
+	if !wasTerminal && j.State() == StateCancelled {
+		// Queued jobs cancel synchronously here; running jobs are counted
+		// by the worker when their context poll fires.
+		s.finished.With("cancelled").Inc()
+	}
+	return nil
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain shuts the server down gracefully: admission stops immediately
+// (Submit returns ErrDraining), queued and running jobs get up to window
+// to finish, and whatever is still in flight when the window closes is
+// cancelled via context. Drain blocks until every worker has exited and
+// reports whether all jobs completed without a window-expiry cancellation.
+// It is idempotent; later calls return the first call's outcome.
+func (s *Server) Drain(window time.Duration) bool {
+	clean := true
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh) // workers exit after draining their queue
+		}
+		s.mu.Unlock()
+
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		timer := time.NewTimer(window)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			clean = false
+			s.baseCancel() // cancel in-flight job contexts
+			<-done
+		}
+		s.baseCancel()
+	})
+	return clean
+}
+
+// worker drains one shard serially until its queue is closed by Drain.
+func (s *Server) worker(shard int) {
+	defer s.wg.Done()
+	for job := range s.shards[shard] {
+		s.queueDepth.Add(-1)
+		s.runJob(job)
+	}
+}
+
+// runJob executes one dequeued job through its terminal state.
+func (s *Server) runJob(j *Job) {
+	if j.State().Terminal() {
+		return // cancelled while queued
+	}
+	if s.baseCtx.Err() != nil || j.cancelRequested() {
+		// The drain window expired (or the client cancelled) before this
+		// queued job reached a worker.
+		j.finish(StateCancelled, "")
+		s.finished.With("cancelled").Inc()
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if j.spec.TimeoutMS > 0 {
+		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	if !j.setRunning(cancel) {
+		return // client cancellation won the race; Cancel counted it
+	}
+	s.queueSeconds.Observe(j.started.Sub(j.submitted).Seconds())
+	s.inflight.Add(1)
+	start := time.Now()
+
+	err := run(ctx, j.spec, j.buf)
+
+	s.inflight.Add(-1)
+	s.jobSeconds.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		j.finish(StateDone, "")
+		s.finished.With("done").Inc()
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCancelled, "")
+		s.finished.With("cancelled").Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateFailed, fmt.Sprintf("deadline exceeded after %v", timeout))
+		s.finished.With("failed").Inc()
+	default:
+		j.finish(StateFailed, err.Error())
+		s.finished.With("failed").Inc()
+	}
+}
+
+// SortStatuses orders statuses by ID (submission order, since IDs are
+// zero-padded sequence numbers).
+func SortStatuses(sts []Status) {
+	sort.Slice(sts, func(i, k int) bool { return sts[i].ID < sts[k].ID })
+}
+
+// queueLen is a test hook: total queued jobs across shards.
+func (s *Server) queueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh)
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package wlan
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseGrantBitCountErrors pins the error paths for inputs that are not
+// at least GrantBits long: the parser must refuse them and say how many bits
+// it saw, never index past the slice.
+func TestParseGrantBitCountErrors(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 8, GrantBits - 1} {
+		_, err := ParseGrant(make([]byte, n))
+		if err == nil {
+			t.Fatalf("ParseGrant accepted %d bits", n)
+		}
+		if !strings.Contains(err.Error(), "16 bits") {
+			t.Errorf("%d bits: error %q does not name the required width", n, err)
+		}
+	}
+	if _, err := ParseGrant(nil); err == nil {
+		t.Fatal("ParseGrant accepted a nil slice")
+	}
+}
+
+// TestParseGrantExtraBitsIgnored: the contract is "at least GrantBits";
+// trailing bits (e.g. the payload that follows a grant in a control stream)
+// must not disturb decoding.
+func TestParseGrantExtraBitsIgnored(t *testing.T) {
+	g := Grant{Station: 9, Slots: 200, Seq: 3}
+	bits, err := g.Bits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := append(bits, 1, 0, 1, 1, 0)
+	got, err := ParseGrant(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("ParseGrant with trailing bits = %+v, want %+v", got, g)
+	}
+}
+
+// TestParseGrantDecodedStationZero: a wire pattern whose station field
+// decodes to 0 is structurally valid but semantically reserved; the parser
+// must reject it rather than hand schedulers an unroutable grant.
+func TestParseGrantDecodedStationZero(t *testing.T) {
+	bits := make([]byte, GrantBits)
+	// Station nibble 0000, but nonzero slots/seq so the frame is not all-zero.
+	copy(bits[4:], []byte{1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 0})
+	_, err := ParseGrant(bits)
+	if err == nil {
+		t.Fatal("ParseGrant accepted station 0")
+	}
+	if !strings.Contains(err.Error(), "station 0") {
+		t.Errorf("error %q does not name the reserved station", err)
+	}
+}
+
+// TestGrantBitsRangeErrors pins each Bits() range check individually with
+// the field named in the error, so a future encoding change cannot silently
+// widen a field past what ParseGrant's 4/8/4 layout can carry.
+func TestGrantBitsRangeErrors(t *testing.T) {
+	cases := []struct {
+		g    Grant
+		want string
+	}{
+		{Grant{Station: 0, Slots: 1, Seq: 1}, "station"},
+		{Grant{Station: 16, Slots: 1, Seq: 1}, "station"},
+		{Grant{Station: -3, Slots: 1, Seq: 1}, "station"},
+		{Grant{Station: 1, Slots: -1, Seq: 1}, "slots"},
+		{Grant{Station: 1, Slots: 256, Seq: 1}, "slots"},
+		{Grant{Station: 1, Slots: 1, Seq: -1}, "seq"},
+		{Grant{Station: 1, Slots: 1, Seq: 16}, "seq"},
+	}
+	for _, tc := range cases {
+		_, err := tc.g.Bits()
+		if err == nil {
+			t.Errorf("%+v encoded despite out-of-range %s", tc.g, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%+v: error %q does not name field %q", tc.g, err, tc.want)
+		}
+	}
+}

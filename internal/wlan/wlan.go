@@ -10,6 +10,7 @@
 package wlan
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -258,6 +259,13 @@ func packetAirtime(ex *cos.Exchange, payloadBytes int) float64 {
 // names the next station. A lost grant idles the next round's slot, exactly
 // the cost real coordination loss incurs.
 func (n *Network) Run(rounds int) (*Report, error) {
+	return n.RunContext(context.Background(), rounds)
+}
+
+// RunContext is Run with cooperative cancellation: the scheduler polls ctx
+// once per round and returns ctx.Err() mid-simulation when it fires, so
+// CLIs can honor SIGINT and the serve layer can enforce job deadlines.
+func (n *Network) RunContext(ctx context.Context, rounds int) (*Report, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("wlan: rounds %d must be >= 1", rounds)
 	}
@@ -267,6 +275,9 @@ func (n *Network) Run(rounds int) (*Report, error) {
 	current := StationID(1)
 	granted := true // round 0's grant is assumed delivered out of band
 	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := StationID(int(current)%n.cfg.Stations + 1)
 		n.seq = (n.seq + 1) & 0xF
 		grant := Grant{Station: next, Slots: 1 + n.rng.Intn(8), Seq: n.seq}
