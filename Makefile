@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -37,6 +37,8 @@ ci: build vet
 	$(GO) test -race -run 'TestParallelMatchesSerial|TestRunnerCancellation' ./internal/experiments/
 	$(GO) test -race -run 'TestServerDrain|TestServerDrainCancelsSlowJobs|TestJobCancel|TestDeterministicNDJSON' ./internal/serve/
 	$(GO) test -race -run 'TestSIGTERMDrainsGracefully' ./cmd/cos-serve/
+	$(GO) test -race -run 'TestSlowSubscriberNeverBlocksProducer|TestJournalFanoutConcurrency' ./internal/obs/event/
+	$(GO) test -race -run 'TestEventsSlowConsumerGap|TestEventsFollowStreamsLive|TestJobLifecycleEvents' ./internal/serve/ ./internal/serve/http/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -66,6 +68,13 @@ bench-pipeline:
 # own status timestamps.
 bench-serve:
 	$(GO) test -v ./internal/serve/ -run TestWriteBenchServeReport -bench-serve-out $(CURDIR)/BENCH_serve.json
+
+# Regenerate BENCH_events.json: costs the operations plane at three levels
+# (raw journal append, per-exchange stage observer on a bare link, serve
+# throughput with the journal on vs off) and enforces the ~2% overhead
+# budget on the serve path.
+bench-events:
+	$(GO) test -v -timeout 20m ./internal/serve/ -run TestWriteBenchEventsReport -bench-events-out $(CURDIR)/BENCH_events.json
 
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:

@@ -18,6 +18,12 @@
 // gracefully — it stops admitting (submits then get 503), gives queued and
 // running jobs the -drain window to finish, cancels the rest, flushes
 // metrics, and exits 0.
+//
+// Every lifecycle transition — the daemon's own (server_listening,
+// server_exit) and every job's — is a typed event in a bounded in-memory
+// journal, streamed on GET /events and mirrored to stderr as JSON lines.
+// Periodic summary frames (-summary-every) carry rolling-window rates and
+// latency quantiles; cos-top renders them as a live console.
 package main
 
 import (
@@ -32,9 +38,30 @@ import (
 	"time"
 
 	"cos/internal/cli"
+	"cos/internal/obs/event"
 	"cos/internal/serve"
 	servehttp "cos/internal/serve/http"
 )
+
+// Daemon-level journal event types; the serve core adds the per-job ones.
+const (
+	// eventListening: the API socket is bound and accepting requests.
+	eventListening = "server_listening"
+	// eventExit: the daemon is done; clean reports a full drain.
+	eventExit = "server_exit"
+)
+
+// listeningEvent is the payload of eventListening.
+type listeningEvent struct {
+	Addr       string `json:"addr"`
+	Shards     int    `json:"shards"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// exitEvent is the payload of eventExit.
+type exitEvent struct {
+	Clean bool `json:"clean"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -53,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queueDepth = fs.Int("queue-depth", 16, "queued jobs per shard before submits get 429")
 		timeout    = fs.Duration("timeout", 60*time.Second, "default per-job deadline (specs may override with timeout_ms)")
 		drain      = fs.Duration("drain", 5*time.Second, "drain window: time in-flight jobs get to finish after SIGTERM")
+		journalCap = fs.Int("journal-cap", 4096, "events retained in the in-memory journal behind GET /events")
+		summary    = fs.Duration("summary-every", time.Second, "rolling-window summary frame interval (0 disables)")
 	)
 	obsAddr, obsStats := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -69,10 +98,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer app.Close()
 
+	// The journal is the daemon's single source of operational truth: the
+	// serve core writes job lifecycle events into it, the daemon adds its
+	// own process-level markers, /events streams it, and the stderr mirror
+	// replaces ad-hoc prints (summary frames are mirrored only when a
+	// per-event feed would be too chatty anyway — they are not).
+	journal := event.New(*journalCap)
+	journal.Mirror(stderr, func(ev event.Event) bool {
+		return ev.Type != serve.EventSummary
+	})
+
 	srv := serve.New(serve.Config{
 		Shards:         *shards,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
+		Journal:        journal,
+		SummaryEvery:   *summary,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -83,8 +124,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	httpSrv := &http.Server{Handler: servehttp.NewHandler(srv)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(stdout, "cos-serve: serving job API on http://%s (shards=%d queue-depth=%d)\n",
-		ln.Addr(), *shards, *queueDepth)
+	journal.Append(eventListening, "", listeningEvent{
+		Addr: ln.Addr().String(), Shards: *shards, QueueDepth: *queueDepth,
+	})
 	if notifyReady != nil {
 		notifyReady(ln.Addr().String())
 	}
@@ -98,19 +140,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Graceful drain: admission stops first, so requests racing the signal
 	// see 503 while status and result streams keep working until every job
-	// is terminal (or the window expires and the rest are cancelled).
-	fmt.Fprintf(stdout, "cos-serve: signal received, draining (window %v)\n", *drain)
+	// is terminal (or the window expires and the rest are cancelled). The
+	// core emits drain_begin/drain_end around this.
 	clean := srv.Drain(*drain)
+	// The journal is the daemon's, not the server's: append the final exit
+	// marker, then close it so /events streams end and Shutdown can finish.
+	journal.Append(eventExit, "", exitEvent{Clean: clean})
+	journal.Close()
 	// Every job is now terminal, so open result streams hit EOF on their
 	// own; Shutdown (not Close) lets those final flushes reach the client.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	httpSrv.Shutdown(shutdownCtx)
 	cancel()
 	app.Close() // flush the stats logger and release the metrics listener
-	if clean {
-		fmt.Fprintln(stdout, "cos-serve: drained cleanly")
-	} else {
-		fmt.Fprintln(stdout, "cos-serve: drain window expired; remaining jobs cancelled")
-	}
 	return 0
 }

@@ -94,8 +94,19 @@ func TestSIGTERMDrainsGracefully(t *testing.T) {
 	case <-time.After(60 * time.Second):
 		t.Fatalf("run() did not exit after drain; stdout: %s", stdout.String())
 	}
-	if out := stdout.String(); !strings.Contains(out, "drained cleanly") {
-		t.Fatalf("daemon did not report a clean drain:\n%s", out)
+	// The daemon's lifecycle log is the journal mirror on stderr: JSON
+	// lines for startup, the job's trail, and the clean drain.
+	errOut := stderr.String()
+	for _, want := range []string{
+		`"type":"server_listening"`,
+		`"type":"job_admitted"`,
+		`"type":"job_finished"`,
+		`"type":"drain_end","data":{"clean":true}`,
+		`"type":"server_exit","data":{"clean":true}`,
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr journal mirror missing %s:\n%s", want, errOut)
+		}
 	}
 }
 

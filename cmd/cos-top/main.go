@@ -1,0 +1,135 @@
+// Command cos-top is a terminal operator console for a running cos-serve
+// instance. It consumes the daemon's GET /events journal stream — job
+// lifecycle events, rejections, drain markers, and periodic rolling-window
+// summary frames — and renders a live single-screen view: admission and
+// completion rates, run-latency quantiles, per-stage pipeline time from the
+// flight-recorder correlation, event counts, and the most recent events.
+//
+//	cos-top -addr http://127.0.0.1:8866            # live view, 1s refresh
+//	cos-top -addr http://127.0.0.1:8866 -once      # one snapshot, no ANSI
+//	cos-top -type job_failed,job_rejected -n 20    # tail failures only
+//
+// The stream is resumable: cos-top tracks the last seen sequence number and
+// reports any events the server had to drop for it. Exit is 0 on server
+// drain (the journal closes), 130 on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cos/internal/cli"
+	"cos/internal/obs/event"
+	"cos/internal/serve/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cos-top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8866", "base URL of the cos-serve job API")
+		once     = fs.Bool("once", false, "print one snapshot of the retained journal and exit")
+		interval = fs.Duration("interval", time.Second, "screen refresh interval in live mode")
+		since    = fs.Uint64("since", 0, "resume from this journal sequence number")
+		types    = fs.String("type", "", "comma-separated event types to keep (default all)")
+		job      = fs.String("job", "", "only events for this job ID")
+		recent   = fs.Int("n", 10, "recent events to keep on screen")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	q := client.EventQuery{Since: *since, Job: *job, NoFollow: *once}
+	if *types != "" {
+		q.Types = strings.Split(*types, ",")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c := client.New(*addr)
+	es, err := c.Events(ctx, q)
+	if err != nil {
+		fmt.Fprintf(stderr, "cos-top: %v\n", err)
+		return 1
+	}
+	defer es.Close()
+
+	st := newState(*addr, *recent)
+
+	if *once {
+		for {
+			ev, ok := es.Next()
+			if !ok {
+				break
+			}
+			st.ingest(ev)
+		}
+		fmt.Fprint(stdout, render(st))
+		return 0
+	}
+
+	// Live mode: one goroutine drains the stream into the shared state; the
+	// ticker repaints. The stream ends when the server drains (journal
+	// closed) or the signal context cancels the request.
+	events := make(chan streamMsg)
+	go func() {
+		defer close(events)
+		for {
+			ev, ok := es.Next()
+			if !ok {
+				return
+			}
+			select {
+			case events <- streamMsg{ev: ev}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	const clearScreen = "\033[H\033[2J"
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	dirty := true
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(stdout)
+			return cli.ExitInterrupted
+		case msg, ok := <-events:
+			if !ok {
+				// Server drained: paint the final state and exit clean.
+				fmt.Fprint(stdout, clearScreen+render(st))
+				fmt.Fprintln(stdout, "cos-top: event stream closed (server drained)")
+				return 0
+			}
+			st.ingest(msg.ev)
+			dirty = true
+		case <-tick.C:
+			if dirty {
+				fmt.Fprint(stdout, clearScreen+render(st))
+				dirty = false
+			}
+		}
+	}
+}
+
+type streamMsg struct {
+	ev event.Event
+}

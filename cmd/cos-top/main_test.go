@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cos/internal/obs"
+	"cos/internal/obs/event"
+	"cos/internal/serve"
+	servehttp "cos/internal/serve/http"
+)
+
+// fixedClock yields 1ms, 2ms, 3ms... of journal-relative time.
+func fixedClock() func() int64 {
+	var n int64
+	return func() int64 {
+		n++
+		return n * int64(time.Millisecond)
+	}
+}
+
+// fixtureJournal builds a deterministic event trail: one finished job with
+// stage timings, one overload rejection, a summary frame, and a drain.
+func fixtureJournal(t *testing.T) *event.Journal {
+	t.Helper()
+	j := event.New(64)
+	j.SetClock(fixedClock())
+	j.Append(serve.EventJobAdmitted, "job-000001", serve.AdmittedEvent{Kind: serve.KindLink, Seed: 7, Shard: 0, QueueDepth: 1})
+	j.Append(serve.EventJobStarted, "job-000001", serve.StartedEvent{Kind: serve.KindLink, QueueWaitMS: 0.25})
+	j.Append(serve.EventJobFinished, "job-000001", serve.TerminalEvent{
+		Kind: serve.KindLink, State: "done", RunMS: 12.5, QueueWaitMS: 0.25, ResultBytes: 2048,
+		StageNS: map[string]int64{
+			"tx_encode": 4_000_000, "channel": 2_000_000, "rx_frontend": 5_500_000,
+			"detect": 500_000, "control_decode": 250_000, "evd_decode": 200_000, "feedback": 50_000,
+		},
+	})
+	j.Append(serve.EventJobRejected, "", serve.RejectedEvent{Reason: "overload", Kind: serve.KindLink, Shard: 0, QueueDepth: 16})
+	j.Append(serve.EventSummary, "", serve.SummaryEvent{
+		QueueDepth: 3, Inflight: 2,
+		SubmitsPerSec: 41.5, JobsPerSec: 40.0, RejectsPerSec: 1.5, RejectRate: 0.036,
+		RunMSP50: 12.5, RunMSP99: 19.75,
+		StageMSP50: map[string]float64{"tx_encode": 4.0, "rx_frontend": 5.5},
+		StageMSP99: map[string]float64{"tx_encode": 6.1, "rx_frontend": 8.2},
+	})
+	j.Append(serve.EventDrainBegin, "", serve.DrainBeginEvent{WindowMS: 5000})
+	j.Append(serve.EventDrainEnd, "", serve.DrainEndEvent{Clean: true})
+	return j
+}
+
+// startFixtureAPI serves the fixture journal through the real HTTP layer.
+func startFixtureAPI(t *testing.T, j *event.Journal) string {
+	t.Helper()
+	srv := serve.New(serve.Config{Shards: 1, Metrics: obs.NewRegistry(), Journal: j})
+	ts := httptest.NewServer(servehttp.NewHandler(srv))
+	t.Cleanup(func() {
+		srv.Drain(time.Second)
+		ts.Close()
+	})
+	return ts.URL
+}
+
+// TestOnceSnapshotDeterministic is the acceptance gate: two --once runs
+// against the same fixture are byte-identical.
+func TestOnceSnapshotDeterministic(t *testing.T) {
+	url := startFixtureAPI(t, fixtureJournal(t))
+
+	snap := func() string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-addr", url, "-once"}, &out, &errb); code != 0 {
+			t.Fatalf("cos-top -once exited %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	a, b := snap(), snap()
+	if a != b {
+		t.Fatalf("snapshots differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+
+	for _, want := range []string{
+		"seq 7",
+		"queue 3   inflight 2",
+		"submit 41.5/s",
+		"run ms      p50    12.500   p99    19.750",
+		"tx_encode",
+		"rx_frontend",
+		"job_admitted 1",
+		"job_finished 1",
+		"job_rejected 1",
+		"drain_end 1",
+		"job-000001",
+		"top=rx_frontend(5.5ms)",
+		"reason=overload shard=0 depth=16",
+		"clean=true",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, a)
+		}
+	}
+	// Stage table keeps pipeline order: tx_encode before rx_frontend.
+	if strings.Index(a, "tx_encode      p50") > strings.Index(a, "rx_frontend") {
+		t.Error("stage table not in pipeline order")
+	}
+}
+
+func TestOnceFilters(t *testing.T) {
+	url := startFixtureAPI(t, fixtureJournal(t))
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", url, "-once", "-type", serve.EventJobFinished}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "job_finished 1") || strings.Contains(s, "job_admitted") {
+		t.Fatalf("type filter not applied:\n%s", s)
+	}
+}
+
+func TestBadFlagsExit2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestIngestRecentRingAndDrops(t *testing.T) {
+	st := newState("x", 3)
+	for i := 1; i <= 5; i++ {
+		data, _ := json.Marshal(serve.StartedEvent{Kind: serve.KindLink})
+		st.ingest(event.Event{Seq: uint64(i), TNS: int64(i), Type: serve.EventJobStarted, Job: "j", Data: data})
+	}
+	if len(st.recent) != 3 || st.recent[0].Seq != 3 || st.recent[2].Seq != 5 {
+		t.Fatalf("recent ring = %+v", st.recent)
+	}
+	if st.counts[serve.EventJobStarted] != 5 || st.lastSeq != 5 {
+		t.Fatalf("counts=%v lastSeq=%d", st.counts, st.lastSeq)
+	}
+
+	gap, _ := json.Marshal(map[string]uint64{"dropped": 4})
+	st.ingest(event.Event{Type: "events_dropped", Data: gap})
+	st.ingest(event.Event{Type: "events_dropped", Data: gap})
+	if st.dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", st.dropped)
+	}
+	if !strings.Contains(render(st), "[8 events dropped]") {
+		t.Fatal("render does not surface drops")
+	}
+}
+
+// TestLiveModeExitsWhenServerDrains covers the follow path end to end: the
+// journal closing (server drain) ends the live session with exit 0.
+func TestLiveModeExitsWhenServerDrains(t *testing.T) {
+	j := fixtureJournal(t)
+	url := startFixtureAPI(t, j)
+
+	done := make(chan int, 1)
+	var out, errb bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", url, "-interval", "10ms"}, &out, &errb)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	j.Close()
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit = %d (stderr %s)", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cos-top did not exit after journal close")
+	}
+	if !strings.Contains(out.String(), "event stream closed") {
+		t.Fatalf("missing close notice:\n%s", out.String())
+	}
+}

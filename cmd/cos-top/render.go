@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cos"
+	"cos/internal/obs/event"
+	"cos/internal/serve"
+)
+
+// state is everything cos-top knows, folded from the event stream. It has
+// no clocks and no randomness: render(state) is a pure function, so a fixed
+// event fixture always produces byte-identical output (pinned by tests and
+// usable as a golden snapshot via -once).
+type state struct {
+	addr    string
+	lastSeq uint64
+	lastTNS int64 // monotonic offset of the newest event, ns since journal start
+
+	counts  map[string]int      // events seen, by type
+	summary *serve.SummaryEvent // newest summary frame, if any
+	recent  []event.Event       // newest last, capped at recentCap
+	dropped uint64              // events the server dropped for this consumer
+}
+
+func newState(addr string, recentCap int) *state {
+	if recentCap < 1 {
+		recentCap = 10
+	}
+	return &state{
+		addr:   addr,
+		counts: map[string]int{},
+		recent: make([]event.Event, 0, recentCap),
+	}
+}
+
+// ingest folds one stream record into the state.
+func (st *state) ingest(ev event.Event) {
+	if ev.Type == "events_dropped" && ev.Seq == 0 {
+		var d struct {
+			Dropped uint64 `json:"dropped"`
+		}
+		if json.Unmarshal(ev.Data, &d) == nil {
+			st.dropped += d.Dropped
+		}
+		return
+	}
+	if ev.Seq > st.lastSeq {
+		st.lastSeq = ev.Seq
+	}
+	if ev.TNS > st.lastTNS {
+		st.lastTNS = ev.TNS
+	}
+	st.counts[ev.Type]++
+	if ev.Type == serve.EventSummary {
+		var sum serve.SummaryEvent
+		if json.Unmarshal(ev.Data, &sum) == nil {
+			st.summary = &sum
+		}
+		return // summary frames carry no job context; keep the feed readable
+	}
+	if len(st.recent) == cap(st.recent) {
+		copy(st.recent, st.recent[1:])
+		st.recent = st.recent[:len(st.recent)-1]
+	}
+	st.recent = append(st.recent, ev)
+}
+
+// render draws the whole screen as one string. Pure: output depends only on
+// st.
+func render(st *state) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cos-top — %s   seq %d   t +%.3fs", st.addr, st.lastSeq, float64(st.lastTNS)/1e9)
+	if st.dropped > 0 {
+		fmt.Fprintf(&b, "   [%d events dropped]", st.dropped)
+	}
+	b.WriteString("\n\n")
+
+	if s := st.summary; s != nil {
+		fmt.Fprintf(&b, "queue %d   inflight %d   submit %.1f/s   done %.1f/s   reject %.1f/s (%.0f%%)\n",
+			s.QueueDepth, s.Inflight, s.SubmitsPerSec, s.JobsPerSec, s.RejectsPerSec, s.RejectRate*100)
+		fmt.Fprintf(&b, "run ms      p50 %9.3f   p99 %9.3f\n", s.RunMSP50, s.RunMSP99)
+		if len(s.StageMSP50) > 0 {
+			b.WriteString("stage ms (per job, flight recorder)\n")
+			// Pipeline order, not map order, so the table is stable.
+			for _, name := range cos.StageNames() {
+				p50, ok := s.StageMSP50[name]
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(&b, "  %-14s p50 %9.3f   p99 %9.3f\n", name, p50, s.StageMSP99[name])
+			}
+		}
+		if s.JournalEvicted > 0 || s.JournalDropped > 0 {
+			fmt.Fprintf(&b, "journal     evicted %d   dropped %d\n", s.JournalEvicted, s.JournalDropped)
+		}
+		b.WriteString("\n")
+	}
+
+	if len(st.counts) > 0 {
+		types := make([]string, 0, len(st.counts))
+		for t := range st.counts {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		b.WriteString("events")
+		for _, t := range types {
+			fmt.Fprintf(&b, "   %s %d", t, st.counts[t])
+		}
+		b.WriteString("\n\n")
+	}
+
+	if len(st.recent) > 0 {
+		fmt.Fprintf(&b, "recent (last %d)\n", len(st.recent))
+		for _, ev := range st.recent {
+			fmt.Fprintf(&b, "  %6d  +%8.3fs  %-13s %-11s %s\n",
+				ev.Seq, float64(ev.TNS)/1e9, ev.Type, ev.Job, eventDetail(ev))
+		}
+	}
+	return b.String()
+}
+
+// eventDetail renders a one-line payload gloss for the recent-events feed.
+func eventDetail(ev event.Event) string {
+	switch ev.Type {
+	case serve.EventJobAdmitted:
+		var d serve.AdmittedEvent
+		if json.Unmarshal(ev.Data, &d) != nil {
+			return ""
+		}
+		return fmt.Sprintf("kind=%s shard=%d depth=%d", d.Kind, d.Shard, d.QueueDepth)
+	case serve.EventJobRejected:
+		var d serve.RejectedEvent
+		if json.Unmarshal(ev.Data, &d) != nil {
+			return ""
+		}
+		s := "reason=" + d.Reason
+		if d.Shard >= 0 {
+			s += fmt.Sprintf(" shard=%d depth=%d", d.Shard, d.QueueDepth)
+		}
+		return s
+	case serve.EventJobStarted:
+		var d serve.StartedEvent
+		if json.Unmarshal(ev.Data, &d) != nil {
+			return ""
+		}
+		return fmt.Sprintf("kind=%s wait=%.1fms", d.Kind, d.QueueWaitMS)
+	case serve.EventJobFinished, serve.EventJobFailed, serve.EventJobCancelled:
+		var d serve.TerminalEvent
+		if json.Unmarshal(ev.Data, &d) != nil {
+			return ""
+		}
+		s := fmt.Sprintf("kind=%s run=%.1fms bytes=%d", d.Kind, d.RunMS, d.ResultBytes)
+		if d.Error != "" {
+			s += " err=" + d.Error
+		}
+		if len(d.StageNS) > 0 {
+			// Top stage by time: the one-glance answer to "where did it go".
+			var top string
+			var topNS int64
+			for _, name := range cos.StageNames() {
+				if ns := d.StageNS[name]; ns > topNS {
+					top, topNS = name, ns
+				}
+			}
+			s += fmt.Sprintf(" top=%s(%.1fms)", top, float64(topNS)/1e6)
+		}
+		return s
+	case serve.EventDrainBegin:
+		var d serve.DrainBeginEvent
+		if json.Unmarshal(ev.Data, &d) != nil {
+			return ""
+		}
+		return fmt.Sprintf("window=%.0fms", d.WindowMS)
+	case serve.EventDrainEnd:
+		var d serve.DrainEndEvent
+		if json.Unmarshal(ev.Data, &d) != nil {
+			return ""
+		}
+		return fmt.Sprintf("clean=%v", d.Clean)
+	default:
+		if len(ev.Data) > 0 {
+			return string(ev.Data)
+		}
+		return ""
+	}
+}

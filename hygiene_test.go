@@ -28,7 +28,8 @@ func TestLibraryPackagesStayTransportFree(t *testing.T) {
 		module + "/internal/coding",
 		module + "/internal/cos",
 		module + "/internal/channel",
-		module + "/internal/serve", // transport-free core; servehttp is the edge
+		module + "/internal/serve",     // transport-free core; servehttp is the edge
+		module + "/internal/obs/event", // journal is transport-free; /events streams it
 	}
 	forbidden := func(imp string) bool {
 		return imp == "net/http" ||
@@ -66,6 +67,24 @@ func TestLibraryPackagesStayTransportFree(t *testing.T) {
 			if forbidden(imp) {
 				t.Errorf("%s imports %s: transport packages must stay out of the simulation core (keep HTTP in cmd/, internal/cli, internal/obs/obshttp, internal/serve/http, internal/serve/client)", pkg, imp)
 			}
+		}
+	}
+}
+
+// TestServeClientConsumers pins which packages may depend on the HTTP
+// client: only operator-facing binaries. Library packages reaching for the
+// client would re-couple the core to its own transport through the back
+// door, and new binaries should add themselves here deliberately.
+func TestServeClientConsumers(t *testing.T) {
+	const module = "cos"
+	allowed := map[string]bool{
+		module + "/cmd/cos-top": true,
+	}
+	imports := moduleImports(t, module)
+	for pkg, set := range imports {
+		if set[module+"/internal/serve/client"] && !allowed[pkg] {
+			t.Errorf("%s imports %s/internal/serve/client; only %v may (extend the list deliberately if this is a new operator binary)",
+				pkg, module, []string{module + "/cmd/cos-top"})
 		}
 	}
 }

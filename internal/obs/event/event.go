@@ -1,0 +1,315 @@
+// Package event is the structured event journal at the heart of the
+// operations plane: a bounded, ring-buffered log of typed JSON events with
+// sequence numbers and monotonic timestamps, fanned out to any number of
+// subscribers without ever blocking the producer.
+//
+// Three rules shape the design:
+//
+//   - Bounded memory. The journal retains the last capacity events; older
+//     entries are evicted (drop-oldest) and counted, never silently lost.
+//
+//   - Producers never block. Append is a marshal plus a short critical
+//     section. Subscribers each own a bounded channel; when one falls
+//     behind, its oldest pending events are dropped (and counted per
+//     subscription) rather than stalling Append.
+//
+//   - Transport-free. The package imports only the standard library's
+//     encoding and sync primitives — no net/http, no obs registry — so the
+//     simulation core and the serve core can both emit events. The HTTP
+//     stream (GET /events) and the stderr mirror are thin consumers.
+//
+// Sequence numbers start at 1 and never repeat, so "resume from sequence
+// N" is well-defined across the ring: Snapshot and Subscribe replay every
+// retained event with Seq > N, and a reader that compares consecutive Seq
+// values can detect eviction gaps.
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one journal entry. Data holds the producer's typed payload,
+// marshaled at Append time so field order (and therefore the NDJSON byte
+// stream) is deterministic.
+type Event struct {
+	// Seq is the journal-assigned sequence number, starting at 1.
+	// Synthetic events injected by consumers (e.g. the HTTP layer's
+	// events_dropped notice) carry Seq 0.
+	Seq uint64 `json:"seq"`
+	// TNS is the monotonic timestamp: nanoseconds since the journal was
+	// created. Wall-clock time is deliberately absent — monotonic stamps
+	// order events correctly across clock steps and keep fixtures
+	// deterministic.
+	TNS int64 `json:"t_ns"`
+	// Type names the event ("job_admitted", "summary", ...).
+	Type string `json:"type"`
+	// Job is the correlated job ID, when the event concerns one job.
+	Job string `json:"job,omitempty"`
+	// Data is the typed payload, already marshaled.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Journal is a bounded event log with subscriber fan-out. Create one with
+// New; all methods are safe for concurrent use.
+type Journal struct {
+	start time.Time
+
+	mu       sync.Mutex
+	now      func() int64 // monotonic ns; replaceable for fixtures
+	ring     []Event      // seq s lives at (s-1) % cap(ring)
+	appended uint64       // total events ever appended (last seq)
+	closed   bool
+	mirror   io.Writer
+	keep     func(Event) bool
+	subs     map[*Subscription]struct{}
+
+	subDropped atomic.Uint64 // events dropped across all subscriptions
+}
+
+// DefaultCapacity is the ring size selected by New when capacity <= 0.
+const DefaultCapacity = 1024
+
+// New returns a journal retaining the last capacity events (<= 0 selects
+// DefaultCapacity).
+func New(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	j := &Journal{
+		start: time.Now(),
+		ring:  make([]Event, 0, capacity),
+		subs:  map[*Subscription]struct{}{},
+	}
+	j.now = func() int64 { return time.Since(j.start).Nanoseconds() }
+	return j
+}
+
+// SetClock replaces the monotonic timestamp source (nanoseconds since
+// journal start). It exists so fixtures and golden tests can append events
+// with reproducible stamps; call it before the first Append.
+func (j *Journal) SetClock(now func() int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.now = now
+}
+
+// Mirror writes every appended event that keep accepts (nil keeps all) to
+// w as one JSON line, under the journal's lock so lines never interleave.
+// One mirror is supported; the daemon points it at stderr so process logs
+// and the /events stream agree record for record.
+func (j *Journal) Mirror(w io.Writer, keep func(Event) bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.mirror = w
+	j.keep = keep
+}
+
+// Append records an event of the given type, correlated with job (may be
+// ""), carrying payload (marshaled immediately; nil omits data). It
+// returns the stored event. Append on a closed journal is a no-op and
+// returns the zero Event.
+func (j *Journal) Append(typ, job string, payload any) Event {
+	var data json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			// Payloads are our own structs; a marshal failure is a
+			// programming error surfaced in-band rather than panicking a
+			// producer hot path.
+			b, _ = json.Marshal(struct {
+				MarshalError string `json:"marshal_error"`
+			}{err.Error()})
+		}
+		data = b
+	}
+
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return Event{}
+	}
+	j.appended++
+	ev := Event{Seq: j.appended, TNS: j.now(), Type: typ, Job: job, Data: data}
+	if len(j.ring) < cap(j.ring) {
+		j.ring = append(j.ring, ev)
+	} else {
+		j.ring[(ev.Seq-1)%uint64(cap(j.ring))] = ev // evict the oldest
+	}
+	if j.mirror != nil && (j.keep == nil || j.keep(ev)) {
+		line, _ := json.Marshal(ev)
+		j.mirror.Write(append(line, '\n'))
+	}
+	for s := range j.subs {
+		s.offer(ev)
+	}
+	j.mu.Unlock()
+	return ev
+}
+
+// LastSeq returns the sequence number of the most recent event (0 when
+// empty).
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Evicted returns how many events have been dropped from the ring to make
+// room for newer ones (drop-oldest retention).
+func (j *Journal) Evicted() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended - uint64(len(j.ring))
+}
+
+// Dropped returns the total events dropped across all subscriptions
+// because a consumer fell behind its buffer.
+func (j *Journal) Dropped() uint64 { return j.subDropped.Load() }
+
+// Snapshot returns a copy of every retained event with Seq > since, in
+// sequence order. since 0 returns the full retained window.
+func (j *Journal) Snapshot(since uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked(since)
+}
+
+func (j *Journal) snapshotLocked(since uint64) []Event {
+	n := uint64(len(j.ring))
+	if n == 0 {
+		return nil
+	}
+	first := j.appended - n + 1 // oldest retained seq
+	if since+1 > first {
+		first = since + 1
+	}
+	if first > j.appended {
+		return nil
+	}
+	out := make([]Event, 0, j.appended-first+1)
+	for s := first; s <= j.appended; s++ {
+		out = append(out, j.ring[(s-1)%uint64(cap(j.ring))])
+	}
+	return out
+}
+
+// Close marks the journal final: subscriber channels are closed (after
+// any pending events drain) and later Appends become no-ops. Idempotent.
+func (j *Journal) Close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	for s := range j.subs {
+		s.closeLocked()
+	}
+	j.subs = map[*Subscription]struct{}{}
+}
+
+// Closed reports whether Close has been called.
+func (j *Journal) Closed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.closed
+}
+
+// Subscribe registers a live consumer. Events with Seq > since that are
+// still retained are replayed first (the channel is sized to hold the full
+// replay), then new events stream as they are appended. buf bounds the
+// live backlog (<= 0 selects 64): when the consumer falls behind, the
+// subscription drops its oldest pending events — the producer never waits.
+// Cancel the subscription when done; its channel also closes when the
+// journal closes.
+func (j *Journal) Subscribe(since uint64, buf int) *Subscription {
+	if buf <= 0 {
+		buf = 64
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay := j.snapshotLocked(since)
+	if buf < len(replay) {
+		buf = len(replay) // the replay window is bounded by ring capacity
+	}
+	s := &Subscription{j: j, ch: make(chan Event, buf)}
+	for _, ev := range replay {
+		s.ch <- ev
+	}
+	if j.closed {
+		close(s.ch)
+		s.closed = true
+		return s
+	}
+	j.subs[s] = struct{}{}
+	return s
+}
+
+// Subscription is one consumer's bounded view of the journal.
+type Subscription struct {
+	j       *Journal
+	ch      chan Event
+	closed  bool // guarded by j.mu
+	dropped atomic.Uint64
+}
+
+// C returns the subscription's event channel. It closes when the
+// subscription is cancelled or the journal closes.
+func (s *Subscription) C() <-chan Event { return s.ch }
+
+// TakeDropped returns the number of events dropped from this subscription
+// since the last call and resets the count — consumers use it to emit gap
+// notices in their own streams.
+func (s *Subscription) TakeDropped() uint64 { return s.dropped.Swap(0) }
+
+// Cancel unregisters the subscription and closes its channel. Safe to call
+// more than once and safe to race with journal Close.
+func (s *Subscription) Cancel() {
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	delete(s.j.subs, s)
+	s.closeLocked()
+}
+
+func (s *Subscription) closeLocked() {
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// offer delivers ev without ever blocking: if the buffer is full the
+// oldest pending event is dropped (and counted) to make room. Called with
+// the journal lock held, so there is exactly one sender.
+func (s *Subscription) offer(ev Event) {
+	for {
+		select {
+		case s.ch <- ev:
+			return
+		default:
+		}
+		// Full: evict the oldest pending event. The consumer may race us
+		// and drain the channel between the two selects, so loop.
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+			s.j.subDropped.Add(1)
+		default:
+		}
+	}
+}
+
+// String renders the event as its JSON line (without trailing newline);
+// handy in error messages.
+func (e Event) String() string {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Sprintf("event{seq=%d type=%q}", e.Seq, e.Type)
+	}
+	return string(b)
+}

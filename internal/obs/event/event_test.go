@@ -1,0 +1,259 @@
+package event
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a clock yielding 1000, 2000, 3000, ... ns.
+func fixedClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 1000
+		return t
+	}
+}
+
+type payload struct {
+	N int `json:"n"`
+}
+
+func TestJournalAppendAssignsSequenceAndMonotonicTime(t *testing.T) {
+	j := New(8)
+	j.SetClock(fixedClock())
+	for i := 1; i <= 3; i++ {
+		ev := j.Append("tick", "", payload{N: i})
+		if ev.Seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", ev.Seq, i)
+		}
+		if ev.TNS != int64(i)*1000 {
+			t.Fatalf("t_ns = %d, want %d", ev.TNS, i*1000)
+		}
+	}
+	evs := j.Snapshot(0)
+	if len(evs) != 3 {
+		t.Fatalf("snapshot has %d events, want 3", len(evs))
+	}
+	if string(evs[1].Data) != `{"n":2}` {
+		t.Fatalf("data = %s", evs[1].Data)
+	}
+	if j.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d", j.LastSeq())
+	}
+}
+
+func TestJournalDropsOldestWhenFull(t *testing.T) {
+	j := New(4)
+	for i := 1; i <= 10; i++ {
+		j.Append("tick", "", payload{N: i})
+	}
+	if got := j.Evicted(); got != 6 {
+		t.Fatalf("Evicted = %d, want 6", got)
+	}
+	evs := j.Snapshot(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("retained[%d].Seq = %d, want %d (drop-oldest)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestJournalSnapshotSince(t *testing.T) {
+	j := New(8)
+	for i := 1; i <= 5; i++ {
+		j.Append("tick", "", nil)
+	}
+	evs := j.Snapshot(3)
+	if len(evs) != 2 || evs[0].Seq != 4 || evs[1].Seq != 5 {
+		t.Fatalf("Snapshot(3) = %+v, want seqs 4,5", evs)
+	}
+	if got := j.Snapshot(5); got != nil {
+		t.Fatalf("Snapshot(last) = %+v, want nil", got)
+	}
+	if got := j.Snapshot(99); got != nil {
+		t.Fatalf("Snapshot(future) = %+v, want nil", got)
+	}
+}
+
+func TestSubscribeReplaysThenStreams(t *testing.T) {
+	j := New(16)
+	for i := 1; i <= 3; i++ {
+		j.Append("old", "", payload{N: i})
+	}
+	sub := j.Subscribe(1, 8) // resume after seq 1: replay 2,3
+	defer sub.Cancel()
+	j.Append("new", "job-1", nil)
+
+	var got []uint64
+	for len(got) < 3 {
+		select {
+		case ev := <-sub.C():
+			got = append(got, ev.Seq)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out; got %v", got)
+		}
+	}
+	if got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("subscriber saw seqs %v, want [2 3 4]", got)
+	}
+}
+
+// TestSlowSubscriberNeverBlocksProducer is the backpressure guarantee the
+// /events endpoint relies on: a subscriber that never reads must not stall
+// Append, and the events it missed must be counted.
+func TestSlowSubscriberNeverBlocksProducer(t *testing.T) {
+	j := New(32)
+	sub := j.Subscribe(0, 4) // tiny buffer, never read
+	defer sub.Cancel()
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			j.Append("flood", "", payload{N: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append blocked on a slow subscriber")
+	}
+	// 4 events fit in the buffer; the rest must have been dropped.
+	if got := sub.dropped.Load(); got != 996 {
+		t.Fatalf("subscription dropped %d events, want 996", got)
+	}
+	if got := j.Dropped(); got != 996 {
+		t.Fatalf("journal Dropped() = %d, want 996", got)
+	}
+	if got := sub.TakeDropped(); got != 996 {
+		t.Fatalf("TakeDropped = %d, want 996", got)
+	}
+	if got := sub.TakeDropped(); got != 0 {
+		t.Fatalf("second TakeDropped = %d, want 0", got)
+	}
+}
+
+// TestJournalFanoutConcurrency exercises concurrent producers, a consuming
+// subscriber, and cancellation under the race detector (make ci runs this
+// with -race).
+func TestJournalFanoutConcurrency(t *testing.T) {
+	j := New(128)
+	sub := j.Subscribe(0, 16)
+	var consumed int
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for range sub.C() {
+			consumed++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				j.Append("flood", "", payload{N: p*1000 + i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if j.LastSeq() != 1000 {
+		t.Fatalf("LastSeq = %d, want 1000", j.LastSeq())
+	}
+	j.Close()
+	<-consumerDone
+	if uint64(consumed)+sub.dropped.Load() != 1000 {
+		t.Fatalf("consumed %d + dropped %d != 1000", consumed, sub.dropped.Load())
+	}
+	// Sequence numbers stay unique and total even under contention.
+	evs := j.Snapshot(0)
+	if len(evs) != 128 {
+		t.Fatalf("retained %d, want 128", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained seqs not contiguous at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestCloseEndsSubscribersAndDisablesAppend(t *testing.T) {
+	j := New(8)
+	sub := j.Subscribe(0, 4)
+	j.Append("one", "", nil)
+	j.Close()
+	j.Close() // idempotent
+
+	var seen []string
+	for ev := range sub.C() { // channel must close after draining
+		seen = append(seen, ev.Type)
+	}
+	if len(seen) != 1 || seen[0] != "one" {
+		t.Fatalf("drained %v, want [one]", seen)
+	}
+	if ev := j.Append("late", "", nil); ev.Seq != 0 {
+		t.Fatalf("Append after Close returned seq %d, want 0 (no-op)", ev.Seq)
+	}
+	if !j.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// Subscribing to a closed journal yields the replay then a closed
+	// channel.
+	late := j.Subscribe(0, 4)
+	n := 0
+	for range late.C() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("late subscriber drained %d events, want 1", n)
+	}
+	sub.Cancel() // safe after Close
+}
+
+func TestMirrorWritesFilteredJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(8)
+	j.SetClock(fixedClock())
+	j.Mirror(&buf, func(ev Event) bool { return ev.Type != "noise" })
+	j.Append("signal", "job-7", payload{N: 1})
+	j.Append("noise", "", nil)
+	j.Append("signal", "", payload{N: 2})
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("mirror wrote %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("mirror line is not JSON: %v", err)
+	}
+	if ev.Seq != 1 || ev.Type != "signal" || ev.Job != "job-7" {
+		t.Fatalf("mirror line = %+v", ev)
+	}
+	if want := `{"seq":1,"t_ns":1000,"type":"signal","job":"job-7","data":{"n":1}}`; lines[0] != want {
+		t.Fatalf("mirror line = %s, want %s", lines[0], want)
+	}
+}
+
+func TestDefaultCapacityAndZeroPayload(t *testing.T) {
+	j := New(0)
+	if cap(j.ring) != DefaultCapacity {
+		t.Fatalf("cap = %d, want %d", cap(j.ring), DefaultCapacity)
+	}
+	ev := j.Append("bare", "", nil)
+	if ev.Data != nil {
+		t.Fatalf("nil payload produced data %s", ev.Data)
+	}
+	if !strings.Contains(ev.String(), `"type":"bare"`) {
+		t.Fatalf("String() = %s", ev.String())
+	}
+}

@@ -89,6 +89,100 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestMetricsExposition pins the Prometheus text-format contract scrapers
+// depend on: the versioned Content-Type header and one exposition block per
+// metric family — counter, gauge, labelled counter family, and histogram
+// with buckets/sum/count.
+func TestMetricsExposition(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("expo_jobs_total", "jobs").Add(3)
+	r.Gauge("expo_depth", "queue depth").Set(5)
+	fam := r.CounterFamily("expo_rejected_total", "rejections", "reason")
+	fam.With("overload").Add(2)
+	fam.With("invalid").Inc()
+	h := r.Histogram("expo_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.002)
+	h.Observe(0.05)
+
+	srv, err := Serve(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q, want the Prometheus 0.0.4 text format", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE expo_jobs_total counter",
+		"expo_jobs_total 3",
+		"# TYPE expo_depth gauge",
+		"expo_depth 5",
+		"# TYPE expo_rejected_total counter",
+		`expo_rejected_total{reason="overload"} 2`,
+		`expo_rejected_total{reason="invalid"} 1`,
+		"# TYPE expo_lat_seconds histogram",
+		`expo_lat_seconds_bucket{le="0.01"} 1`,
+		`expo_lat_seconds_bucket{le="+Inf"} 2`,
+		"expo_lat_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Histogram sum is a float; locate the line rather than exact-match.
+	if !strings.Contains(body, "expo_lat_seconds_sum 0.052") {
+		t.Errorf("/metrics missing histogram sum:\n%s", body)
+	}
+}
+
+// TestExpvarSnapshotShape pins /debug/vars: valid JSON whose cos var maps
+// metric names (with label suffixes) to numbers.
+func TestExpvarSnapshotShape(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Gauge("expv_inflight", "").Set(2)
+	r.CounterFamily("expv_finished_total", "", "state").With("done").Add(4)
+
+	srv, err := Serve(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, body := get(t, "http://"+srv.Addr()+"/debug/vars")
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(vars["cos"], &snap); err != nil {
+		t.Fatalf("cos var is not a flat name->number snapshot: %v\n%s", err, vars["cos"])
+	}
+	if snap["expv_inflight"] != 2 {
+		t.Errorf("snapshot gauge = %v", snap)
+	}
+	found := false
+	for name, v := range snap {
+		if strings.HasPrefix(name, "expv_finished_total") && v == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("snapshot missing labelled counter: %v", snap)
+	}
+}
+
 // TestServeTwice ensures a second listener (e.g. in another test) does not
 // panic on duplicate expvar publication and serves the latest registry.
 func TestServeTwice(t *testing.T) {

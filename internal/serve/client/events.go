@@ -1,0 +1,94 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"cos/internal/obs/event"
+)
+
+// EventQuery selects which journal events to stream from GET /events.
+type EventQuery struct {
+	// Since replays retained events with seq > Since before going live.
+	Since uint64
+	// Types keeps only these event types (empty = all).
+	Types []string
+	// Job keeps only events for this job ID.
+	Job string
+	// NoFollow requests a snapshot: the replay, then EOF.
+	NoFollow bool
+	// Buffer sets the server-side subscriber channel capacity (0 = default).
+	Buffer int
+}
+
+// EventStream iterates the NDJSON event stream. Close it when done.
+type EventStream struct {
+	body interface{ Close() error }
+	sc   *bufio.Scanner
+}
+
+// Events opens a journal stream. The returned stream ends when the server
+// drains (journal closed), the context is cancelled, or — with NoFollow —
+// when the replay is exhausted.
+func (c *Client) Events(ctx context.Context, q EventQuery) (*EventStream, error) {
+	v := url.Values{}
+	if q.Since > 0 {
+		v.Set("since", strconv.FormatUint(q.Since, 10))
+	}
+	if len(q.Types) > 0 {
+		v.Set("type", strings.Join(q.Types, ","))
+	}
+	if q.Job != "" {
+		v.Set("job", q.Job)
+	}
+	if q.NoFollow {
+		v.Set("follow", "0")
+	}
+	if q.Buffer > 0 {
+		v.Set("buf", strconv.Itoa(q.Buffer))
+	}
+	u := c.BaseURL + "/events"
+	if enc := v.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &EventStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next event, or false at end of stream. Synthetic gap
+// records from the server (type "events_dropped", seq 0) are surfaced like
+// any other event so consumers can report the loss.
+func (s *EventStream) Next() (event.Event, bool) {
+	for s.sc.Scan() {
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // tolerate foreign lines
+		}
+		return ev, true
+	}
+	return event.Event{}, false
+}
+
+// Err returns the scan error that ended the stream, if any.
+func (s *EventStream) Err() error { return s.sc.Err() }
+
+// Close releases the underlying response body.
+func (s *EventStream) Close() error { return s.body.Close() }

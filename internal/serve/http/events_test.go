@@ -1,0 +1,365 @@
+package servehttp_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cos/internal/obs"
+	"cos/internal/obs/event"
+	"cos/internal/serve"
+	"cos/internal/serve/client"
+	servehttp "cos/internal/serve/http"
+)
+
+// runOneJob submits a quick link job and waits for it to finish.
+func runOneJob(t *testing.T, srv *serve.Server) *serve.Job {
+	t.Helper()
+	j, err := srv.Submit(serve.Spec{Kind: serve.KindLink, Packets: 2, PayloadBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	return j
+}
+
+func TestEventsSnapshotAndFilters(t *testing.T) {
+	srv, c := startAPI(t, serve.Config{Shards: 1})
+	ctx := context.Background()
+	j1 := runOneJob(t, srv)
+	j2 := runOneJob(t, srv)
+
+	// Unfiltered snapshot: full lifecycle of both jobs, in seq order.
+	es, err := c.Events(ctx, client.EventQuery{NoFollow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	var types []string
+	var lastSeq uint64
+	for {
+		ev, ok := es.Next()
+		if !ok {
+			break
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("seq not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		types = append(types, ev.Type)
+	}
+	want := []string{
+		serve.EventJobAdmitted, serve.EventJobStarted, serve.EventJobFinished,
+		serve.EventJobAdmitted, serve.EventJobStarted, serve.EventJobFinished,
+	}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+
+	// Type filter.
+	es2, err := c.Events(ctx, client.EventQuery{NoFollow: true, Types: []string{serve.EventJobFinished}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es2.Close()
+	n := 0
+	for {
+		ev, ok := es2.Next()
+		if !ok {
+			break
+		}
+		if ev.Type != serve.EventJobFinished {
+			t.Fatalf("type filter leaked %q", ev.Type)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("filtered events = %d, want 2", n)
+	}
+
+	// Job filter.
+	es3, err := c.Events(ctx, client.EventQuery{NoFollow: true, Job: j2.ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es3.Close()
+	n = 0
+	for {
+		ev, ok := es3.Next()
+		if !ok {
+			break
+		}
+		if ev.Job != j2.ID() {
+			t.Fatalf("job filter leaked job %q", ev.Job)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("job-filtered events = %d, want 3 (admitted/started/finished)", n)
+	}
+	_ = j1
+}
+
+func TestEventsResumeFromSequence(t *testing.T) {
+	srv, c := startAPI(t, serve.Config{Shards: 1})
+	ctx := context.Background()
+	runOneJob(t, srv)
+
+	// Find the last seq, then resume from just before it.
+	es, err := c.Events(ctx, client.EventQuery{NoFollow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for {
+		ev, ok := es.Next()
+		if !ok {
+			break
+		}
+		last = ev.Seq
+	}
+	es.Close()
+	if last == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	es2, err := c.Events(ctx, client.EventQuery{NoFollow: true, Since: last - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es2.Close()
+	ev, ok := es2.Next()
+	if !ok || ev.Seq != last {
+		t.Fatalf("resume got seq %d (ok=%v), want %d", ev.Seq, ok, last)
+	}
+	if _, ok := es2.Next(); ok {
+		t.Fatal("resume replay should end after the last event")
+	}
+}
+
+func TestEventsFollowStreamsLive(t *testing.T) {
+	srv, c := startAPI(t, serve.Config{Shards: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	es, err := c.Events(ctx, client.EventQuery{Types: []string{serve.EventJobFinished}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+
+	if _, err := srv.Submit(serve.Spec{Kind: serve.KindLink, Packets: 2, PayloadBytes: 64}); err != nil {
+		t.Fatal(err)
+	}
+
+	ev, ok := es.Next()
+	if !ok {
+		t.Fatalf("stream ended before live event: %v", es.Err())
+	}
+	if ev.Type != serve.EventJobFinished {
+		t.Fatalf("live event type = %q", ev.Type)
+	}
+	var term serve.TerminalEvent
+	if err := json.Unmarshal(ev.Data, &term); err != nil {
+		t.Fatal(err)
+	}
+	if term.StageNS["tx_encode"] <= 0 {
+		t.Fatalf("live terminal event stage_ns = %v", term.StageNS)
+	}
+}
+
+// TestEventsSlowConsumerGap proves a stalled /events reader never blocks
+// job execution: the server keeps running jobs, the reader's backlog is
+// dropped oldest-first, and the gap is reported in-band.
+func TestEventsSlowConsumerGap(t *testing.T) {
+	srv, c := startAPI(t, serve.Config{Shards: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Tiny subscriber buffer; do not read until all jobs finish.
+	es, err := c.Events(ctx, client.EventQuery{Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+
+	const jobs = 40
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < jobs; i++ {
+			j, err := srv.Submit(serve.Spec{Kind: serve.KindLink, Packets: 2, PayloadBytes: 64})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			<-j.Done()
+		}
+	}()
+
+	// Jobs must complete while the consumer stalls: this is the
+	// "slow consumer never blocks execution" guarantee.
+	select {
+	case <-done:
+	case <-time.After(25 * time.Second):
+		t.Fatal("jobs blocked behind a slow /events consumer")
+	}
+
+	// A tight append burst overwhelms the 1-slot subscriber channel far
+	// faster than the handler's write+flush loop can drain it, so drops
+	// are guaranteed regardless of TCP buffering.
+	for i := 0; i < 2000; i++ {
+		srv.Journal().Append("noise", "", nil)
+	}
+
+	// Now drain the stream: expect at least one synthetic gap record.
+	srv.Drain(10 * time.Second) // closes the journal -> stream EOF
+	var gaps uint64
+	for {
+		ev, ok := es.Next()
+		if !ok {
+			break
+		}
+		if ev.Type == "events_dropped" {
+			var d struct {
+				Dropped uint64 `json:"dropped"`
+			}
+			if err := json.Unmarshal(ev.Data, &d); err != nil || d.Dropped == 0 {
+				t.Fatalf("bad gap record: %s (%v)", ev.Data, err)
+			}
+			gaps += d.Dropped
+		}
+	}
+	if gaps == 0 {
+		t.Fatal("no events_dropped gap record; slow consumer was not dropped-from")
+	}
+	if srv.Journal().Dropped() == 0 {
+		t.Fatal("journal-wide dropped counter not incremented")
+	}
+}
+
+func TestEventsSSEFraming(t *testing.T) {
+	srv := serve.New(serve.Config{Shards: 1, Metrics: obs.NewRegistry()})
+	ts := httptest.NewServer(servehttp.NewHandler(srv))
+	t.Cleanup(func() {
+		srv.Drain(10 * time.Second)
+		ts.Close()
+	})
+	j, err := srv.Submit(serve.Spec{Kind: serve.KindLink, Packets: 2, PayloadBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/events?follow=0", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var ids, datas int
+	var firstID string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			if ids == 0 {
+				firstID = strings.TrimPrefix(line, "id: ")
+			}
+			ids++
+		case strings.HasPrefix(line, "data: "):
+			var ev event.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data line: %v", err)
+			}
+			datas++
+		case line == "":
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if ids != 3 || datas != 3 {
+		t.Fatalf("SSE frames: ids=%d datas=%d, want 3 each", ids, datas)
+	}
+	if firstID != "1" {
+		t.Fatalf("first SSE id = %q, want 1", firstID)
+	}
+
+	// Last-Event-ID resumes the stream like ?since=.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/events?follow=0", nil)
+	req2.Header.Set("Accept", "text/event-stream")
+	req2.Header.Set("Last-Event-ID", "2")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	var resumed []string
+	for sc2.Scan() {
+		if strings.HasPrefix(sc2.Text(), "id: ") {
+			resumed = append(resumed, strings.TrimPrefix(sc2.Text(), "id: "))
+		}
+	}
+	if len(resumed) != 1 || resumed[0] != "3" {
+		t.Fatalf("Last-Event-ID resume ids = %v, want [3]", resumed)
+	}
+}
+
+func TestEventsJournalDisabled404(t *testing.T) {
+	srv := serve.New(serve.Config{Shards: 1, Metrics: obs.NewRegistry(), JournalCapacity: -1})
+	ts := httptest.NewServer(servehttp.NewHandler(srv))
+	t.Cleanup(func() {
+		srv.Drain(time.Second)
+		ts.Close()
+	})
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthzDrainStatusCodes pins the raw HTTP contract: 200 + JSON body
+// while admitting, 503 once draining.
+func TestHealthzDrainStatusCodes(t *testing.T) {
+	srv := serve.New(serve.Config{Shards: 1, Metrics: obs.NewRegistry()})
+	ts := httptest.NewServer(servehttp.NewHandler(srv))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v, want 200 ok", resp.StatusCode, body)
+	}
+
+	srv.Drain(time.Second)
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp2.StatusCode)
+	}
+}

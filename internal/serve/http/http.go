@@ -10,6 +10,7 @@
 //	GET  /jobs/{id}         one job's status
 //	GET  /jobs/{id}/result  stream the job's NDJSON results
 //	POST /jobs/{id}/cancel  request cancellation
+//	GET  /events            stream the journal as NDJSON or SSE
 //	GET  /healthz           200 while admitting, 503 while draining
 //
 // Admission pressure maps to status codes: a full shard queue returns 429
@@ -66,6 +67,9 @@ func NewHandler(s *serve.Server) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(s, w, r)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Draining() {

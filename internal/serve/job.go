@@ -356,11 +356,14 @@ func (j *Job) setRunning(cancel context.CancelFunc) bool {
 	return true
 }
 
-// finish moves the job to a terminal state exactly once.
-func (j *Job) finish(s State, errMsg string) {
+// finish moves the job to a terminal state exactly once. Optional notify
+// hooks run after the state flips but before Done() closes, so an observer
+// that waited on Done is guaranteed to see their side effects — the server
+// uses this to journal the terminal event before waiters wake.
+func (j *Job) finish(s State, errMsg string, notify ...func()) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.state = s
@@ -368,20 +371,26 @@ func (j *Job) finish(s State, errMsg string) {
 	j.finished = time.Now()
 	j.cancel = nil
 	j.buf.Close()
+	j.mu.Unlock()
+	// Only the goroutine that performed the transition reaches this point,
+	// so running hooks and closing done outside the lock is single-shot.
+	for _, fn := range notify {
+		fn()
+	}
 	close(j.done)
 }
 
 // requestCancel flags the job and cancels its run context if it has one.
-// Queued jobs are finished immediately; running jobs finish when their
-// simulation loop observes the cancelled context.
-func (j *Job) requestCancel() {
+// Queued jobs are finished immediately (running the notify hooks); running
+// jobs finish when their simulation loop observes the cancelled context.
+func (j *Job) requestCancel(notify ...func()) {
 	j.mu.Lock()
 	cancel := j.cancel
 	queued := j.state == StateQueued
 	j.cancelReq = true
 	j.mu.Unlock()
 	if queued {
-		j.finish(StateCancelled, "")
+		j.finish(StateCancelled, "", notify...)
 	}
 	if cancel != nil {
 		cancel()

@@ -15,15 +15,20 @@ import (
 // simulation order. Every record is a struct (never a map), so field
 // order — and therefore the byte stream — is deterministic; all
 // randomness derives from spec.Seed.
-func run(ctx context.Context, spec Spec, w io.Writer) error {
+//
+// agg, when non-nil, is wired into the workload's links as an exchange
+// observer so the caller can correlate the job with the flight recorder's
+// per-stage timings. Figure jobs have no per-link hook (they run through
+// the experiment pool) and leave agg untouched.
+func run(ctx context.Context, spec Spec, w io.Writer, agg *stageAgg) error {
 	enc := json.NewEncoder(w)
 	switch spec.Kind {
 	case KindLink:
-		return runLink(ctx, spec, enc)
+		return runLink(ctx, spec, enc, agg)
 	case KindStream:
-		return runStream(ctx, spec, enc)
+		return runStream(ctx, spec, enc, agg)
 	case KindWLAN:
-		return runWLAN(ctx, spec, enc)
+		return runWLAN(ctx, spec, enc, agg)
 	case KindFigure:
 		return runFigure(ctx, spec, enc)
 	default:
@@ -42,8 +47,9 @@ type ConfigError struct {
 // Error implements error.
 func (e *ConfigError) Error() string { return "serve: " + e.Field + ": " + e.Reason }
 
-// linkOptions builds the cos.Link options shared by link and stream jobs.
-func linkOptions(spec Spec) ([]cos.Option, error) {
+// linkOptions builds the cos.Link options shared by link and stream jobs;
+// agg (when non-nil) is attached as the flight-recorder observer.
+func linkOptions(spec Spec, agg *stageAgg) ([]cos.Option, error) {
 	pos, err := parsePosition(spec.Position)
 	if err != nil {
 		return nil, err
@@ -55,6 +61,9 @@ func linkOptions(spec Spec) ([]cos.Option, error) {
 	}
 	if spec.Mobile {
 		opts = append(opts, cos.WithMobile())
+	}
+	if agg != nil {
+		opts = append(opts, cos.WithObserver(agg.observe))
 	}
 	return opts, nil
 }
@@ -86,8 +95,8 @@ type linkSummary struct {
 	ElapsedSimSeconds float64 `json:"elapsed_sim_seconds"`
 }
 
-func runLink(ctx context.Context, spec Spec, enc *json.Encoder) error {
-	opts, err := linkOptions(spec)
+func runLink(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg) error {
+	opts, err := linkOptions(spec, agg)
 	if err != nil {
 		return err
 	}
@@ -174,8 +183,8 @@ type streamSummary struct {
 	PacketsUsed int    `json:"packets_used"`
 }
 
-func runStream(ctx context.Context, spec Spec, enc *json.Encoder) error {
-	opts, err := linkOptions(spec)
+func runStream(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg) error {
+	opts, err := linkOptions(spec, agg)
 	if err != nil {
 		return err
 	}
@@ -246,7 +255,11 @@ type wlanSummary struct {
 	CoSDataDeliveredPerLost float64 `json:"cos_data_delivered_per_lost"`
 }
 
-func runWLAN(ctx context.Context, spec Spec, enc *json.Encoder) error {
+func runWLAN(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg) error {
+	var observer cos.Observer
+	if agg != nil {
+		observer = agg.observe
+	}
 	runOne := func(coord wlan.Coordination) (*wlan.Report, error) {
 		n, err := wlan.New(wlan.Config{
 			Stations:     spec.Stations,
@@ -254,6 +267,7 @@ func runWLAN(ctx context.Context, spec Spec, enc *json.Encoder) error {
 			PayloadBytes: spec.PayloadBytes,
 			Coordination: coord,
 			Seed:         spec.Seed,
+			Observer:     observer,
 		})
 		if err != nil {
 			return nil, err

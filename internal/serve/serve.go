@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"cos/internal/obs"
+	"cos/internal/obs/event"
 )
 
 // Typed admission errors; the HTTP layer maps these to status codes.
@@ -63,6 +64,20 @@ type Config struct {
 	// Metrics receives the server's gauges and counters (default:
 	// obs.Default()).
 	Metrics *obs.Registry
+	// Journal receives the server's structured lifecycle events (see
+	// events.go for the vocabulary). Nil makes the server create and own
+	// its own journal of JournalCapacity entries; pass one to share it
+	// with other producers (the daemon adds its process-level events and
+	// the stderr mirror on the same journal).
+	Journal *event.Journal
+	// JournalCapacity sizes the ring when the server creates its own
+	// journal (0 selects event.DefaultCapacity; negative disables the
+	// journal entirely — no events are recorded and GET /events is
+	// unavailable).
+	JournalCapacity int
+	// SummaryEvery is the period between rolling-window summary frames on
+	// the journal (0 disables; the daemon defaults to 1s).
+	SummaryEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +116,10 @@ type Server struct {
 	wg        sync.WaitGroup
 	drainOnce sync.Once
 
+	journal    *event.Journal
+	ownJournal bool      // Drain closes the journal only if New created it
+	ops        *opsState // rolling windows behind summary frames
+
 	queueDepth   *obs.Gauge
 	inflight     *obs.Gauge
 	submitted    *obs.Counter
@@ -137,10 +156,25 @@ func New(cfg Config) *Server {
 		queueSeconds: cfg.Metrics.Histogram("serve_job_queue_seconds",
 			"Job queue wait (submitted -> running).", nil),
 	}
+	switch {
+	case cfg.Journal != nil:
+		s.journal = cfg.Journal
+	case cfg.JournalCapacity >= 0:
+		s.journal = event.New(cfg.JournalCapacity)
+		s.ownJournal = true
+	}
+	if s.journal != nil {
+		s.ops = newOpsState()
+	}
 	for i := range s.shards {
 		s.shards[i] = make(chan *Job, cfg.QueueDepth)
 		s.wg.Add(1)
 		go s.worker(i)
+	}
+	// Last: the summary goroutine reads server state, so every field must
+	// be initialized before it starts.
+	if s.ops != nil && cfg.SummaryEvery > 0 {
+		s.startSummaryLoop(cfg.SummaryEvery)
 	}
 	return s
 }
@@ -152,6 +186,10 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	norm := spec.normalized()
 	if err := spec.Validate(); err != nil {
 		s.rejected.With("invalid").Inc()
+		s.noteSubmit(true)
+		s.emit(EventJobRejected, "", RejectedEvent{
+			Reason: "invalid", Kind: norm.Kind, Error: err.Error(), Shard: -1,
+		})
 		return nil, err
 	}
 
@@ -159,6 +197,10 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.rejected.With("draining").Inc()
+		s.noteSubmit(true)
+		s.emit(EventJobRejected, "", RejectedEvent{
+			Reason: "draining", Kind: norm.Kind, Shard: -1,
+		})
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -170,7 +212,11 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	shard := s.shards[s.nextSh%uint64(len(s.shards))]
+	shardIdx := int(s.nextSh % uint64(len(s.shards)))
+	shard := s.shards[shardIdx]
+	// Depth is measured before the send so the admitted event can report
+	// "queue depth including this job" without racing the worker's dequeue.
+	depthBefore := len(shard)
 	select {
 	case shard <- job:
 		s.nextSh++
@@ -179,12 +225,32 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		s.submitted.Inc()
 		s.queueDepth.Add(1)
+		s.noteSubmit(false)
+		s.emit(EventJobAdmitted, job.id, AdmittedEvent{
+			Kind: norm.Kind, Seed: norm.Seed, Shard: shardIdx, QueueDepth: depthBefore + 1,
+		})
 		return job, nil
 	default:
-		s.nextID-- // job was never admitted; reuse the ID
+		s.nextID--          // job was never admitted; reuse the ID
+		depth := cap(shard) // rejected because the queue was at capacity
 		s.mu.Unlock()
 		s.rejected.With("overload").Inc()
+		s.noteSubmit(true)
+		s.emit(EventJobRejected, "", RejectedEvent{
+			Reason: "overload", Kind: norm.Kind, Shard: shardIdx, QueueDepth: depth,
+		})
 		return nil, ErrOverloaded
+	}
+}
+
+// noteSubmit feeds the rolling admission windows behind summary frames.
+func (s *Server) noteSubmit(rejected bool) {
+	if s.ops == nil {
+		return
+	}
+	s.ops.submits.Add(1)
+	if rejected {
+		s.ops.rejects.Add(1)
 	}
 }
 
@@ -223,13 +289,13 @@ func (s *Server) Cancel(id string) error {
 	if err != nil {
 		return err
 	}
-	wasTerminal := j.State().Terminal()
-	j.requestCancel()
-	if !wasTerminal && j.State() == StateCancelled {
-		// Queued jobs cancel synchronously here; running jobs are counted
-		// by the worker when their context poll fires.
+	// Queued jobs cancel synchronously inside requestCancel; the hook runs
+	// before Done() closes so waiters see the journal event. Running jobs
+	// are counted by the worker when their context poll fires.
+	j.requestCancel(func() {
 		s.finished.With("cancelled").Inc()
-	}
+		s.emitTerminalEvent(j, nil)
+	})
 	return nil
 }
 
@@ -255,6 +321,7 @@ func (s *Server) Drain(window time.Duration) bool {
 			close(sh) // workers exit after draining their queue
 		}
 		s.mu.Unlock()
+		s.emit(EventDrainBegin, "", DrainBeginEvent{WindowMS: window.Seconds() * 1e3})
 
 		done := make(chan struct{})
 		go func() {
@@ -271,6 +338,11 @@ func (s *Server) Drain(window time.Duration) bool {
 			<-done
 		}
 		s.baseCancel()
+		s.stopSummaryLoop()
+		s.emit(EventDrainEnd, "", DrainEndEvent{Clean: clean})
+		if s.ownJournal {
+			s.journal.Close()
+		}
 	})
 	return clean
 }
@@ -292,8 +364,10 @@ func (s *Server) runJob(j *Job) {
 	if s.baseCtx.Err() != nil || j.cancelRequested() {
 		// The drain window expired (or the client cancelled) before this
 		// queued job reached a worker.
-		j.finish(StateCancelled, "")
-		s.finished.With("cancelled").Inc()
+		j.finish(StateCancelled, "", func() {
+			s.finished.With("cancelled").Inc()
+			s.emitTerminalEvent(j, nil)
+		})
 		return
 	}
 
@@ -309,24 +383,35 @@ func (s *Server) runJob(j *Job) {
 	s.queueSeconds.Observe(j.started.Sub(j.submitted).Seconds())
 	s.inflight.Add(1)
 	start := time.Now()
+	s.emit(EventJobStarted, j.id, StartedEvent{
+		Kind:        j.spec.Kind,
+		QueueWaitMS: j.started.Sub(j.submitted).Seconds() * 1e3,
+	})
 
-	err := run(ctx, j.spec, j.buf)
+	// agg correlates the job with the flight recorder: the run wires it
+	// into every link as an exchange observer, so the terminal event can
+	// report where the job's execution time went, stage by stage.
+	agg := &stageAgg{}
+	err := run(ctx, j.spec, j.buf, agg)
 
 	s.inflight.Add(-1)
 	s.jobSeconds.Observe(time.Since(start).Seconds())
+	// The journal event is a finish hook so it lands before Done() fires:
+	// "wait for the job, then read its trail" always sees the terminal event.
+	emit := func() { s.emitTerminalEvent(j, agg) }
 	switch {
 	case err == nil:
-		j.finish(StateDone, "")
 		s.finished.With("done").Inc()
+		j.finish(StateDone, "", emit)
 	case errors.Is(err, context.Canceled):
-		j.finish(StateCancelled, "")
 		s.finished.With("cancelled").Inc()
+		j.finish(StateCancelled, "", emit)
 	case errors.Is(err, context.DeadlineExceeded):
-		j.finish(StateFailed, fmt.Sprintf("deadline exceeded after %v", timeout))
 		s.finished.With("failed").Inc()
+		j.finish(StateFailed, fmt.Sprintf("deadline exceeded after %v", timeout), emit)
 	default:
-		j.finish(StateFailed, err.Error())
 		s.finished.With("failed").Inc()
+		j.finish(StateFailed, err.Error(), emit)
 	}
 }
 

@@ -139,6 +139,11 @@ type Config struct {
 	Coordination Coordination
 	// Seed drives all randomness.
 	Seed int64
+	// Observer, when non-nil, receives every downlink exchange from every
+	// station's link (the flight-recorder hook). The serve layer uses it to
+	// aggregate per-stage timings for WLAN jobs; it has no effect on the
+	// simulation itself.
+	Observer cos.Observer
 }
 
 func (c *Config) setDefaults() error {
@@ -204,6 +209,9 @@ func New(cfg Config) (*Network, error) {
 		}
 		if cfg.Coordination == CoordExplicit {
 			opts = append(opts, cos.WithoutCoS())
+		}
+		if cfg.Observer != nil {
+			opts = append(opts, cos.WithObserver(cfg.Observer))
 		}
 		link, err := cos.NewLink(opts...)
 		if err != nil {
