@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events bench-cache figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -27,7 +27,9 @@ race:
 # cancellation tests under the race detector (the parallel tests exercise
 # workers 2, 4 and 7 internally), plus the serve daemon's drain and
 # cancellation paths under the race detector (signal-vs-submit,
-# drain-window expiry, and client cancellation all race by design).
+# drain-window expiry, and client cancellation all race by design), and
+# the durable store's WAL replay + cache recovery paths under the race
+# detector (WAL appends race admission and completion by design).
 ci: build vet
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -36,7 +38,9 @@ ci: build vet
 	$(GO) test -race -run 'TestPipelineNodesRace|TestStandaloneNodesMatchLink' .
 	$(GO) test -race -run 'TestParallelMatchesSerial|TestRunnerCancellation' ./internal/experiments/
 	$(GO) test -race -run 'TestServerDrain|TestServerDrainCancelsSlowJobs|TestJobCancel|TestDeterministicNDJSON' ./internal/serve/
-	$(GO) test -race -run 'TestSIGTERMDrainsGracefully' ./cmd/cos-serve/
+	$(GO) test -race -run 'TestSIGTERMDrainsGracefully|TestRestartServesDurableResults' ./cmd/cos-serve/
+	$(GO) test -race ./internal/serve/store/ ./internal/serve/cache/
+	$(GO) test -race -run 'TestCacheHit|TestStoreRecovery|TestFailedJobsSettle' ./internal/serve/
 	$(GO) test -race -run 'TestSlowSubscriberNeverBlocksProducer|TestJournalFanoutConcurrency' ./internal/obs/event/
 	$(GO) test -race -run 'TestEventsSlowConsumerGap|TestEventsFollowStreamsLive|TestJobLifecycleEvents' ./internal/serve/ ./internal/serve/http/
 
@@ -75,6 +79,13 @@ bench-serve:
 # budget on the serve path.
 bench-events:
 	$(GO) test -v -timeout 20m ./internal/serve/ -run TestWriteBenchEventsReport -bench-events-out $(CURDIR)/BENCH_events.json
+
+# Regenerate BENCH_cache.json: runs N distinct link specs cold, resubmits
+# them warm against the content-addressed result cache, asserts every warm
+# stream is byte-identical to its cold run, and enforces the >= 10x
+# warm/cold jobs-per-second acceptance bar.
+bench-cache:
+	$(GO) test -v ./internal/serve/ -run TestWriteBenchCacheReport -bench-cache-out $(CURDIR)/BENCH_cache.json
 
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:

@@ -6,12 +6,23 @@
 //
 //	cos-serve -addr :8866 -shards 4 -queue-depth 32
 //	cos-serve -addr :8866 -metrics-addr :8080 -stats 10s
+//	cos-serve -addr :8866 -data-dir /var/lib/cos-serve
 //
 // Submit with plain curl:
 //
 //	curl -d '{"kind":"link","packets":200,"seed":7}' localhost:8866/jobs
 //	curl localhost:8866/jobs/job-000001
 //	curl -N localhost:8866/jobs/job-000001/result
+//
+// Results are content-addressed: every job's spec digests to a stable
+// SHA-256 key (the "digest" field of its status), equal digests mean
+// byte-identical NDJSON streams, and a repeat submission is served from
+// the in-memory result cache (200 + "X-Cos-Cache: hit" instead of 202)
+// without re-running. With -data-dir set the daemon is also durable: a
+// write-ahead log records every admission and terminal result, and a
+// restart on the same directory re-serves completed digests
+// byte-identically (GET /jobs/<digest>/result) and re-runs whatever the
+// previous process left unfinished.
 //
 // Admission is bounded: when a shard queue is full, submits fail with 429
 // and a Retry-After hint. On SIGTERM (or SIGINT) the daemon drains
@@ -40,7 +51,9 @@ import (
 	"cos/internal/cli"
 	"cos/internal/obs/event"
 	"cos/internal/serve"
+	"cos/internal/serve/cache"
 	servehttp "cos/internal/serve/http"
+	"cos/internal/serve/store"
 )
 
 // Daemon-level journal event types; the serve core adds the per-job ones.
@@ -82,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drain      = fs.Duration("drain", 5*time.Second, "drain window: time in-flight jobs get to finish after SIGTERM")
 		journalCap = fs.Int("journal-cap", 4096, "events retained in the in-memory journal behind GET /events")
 		summary    = fs.Duration("summary-every", time.Second, "rolling-window summary frame interval (0 disables)")
+		dataDir    = fs.String("data-dir", "", "durable job store directory (WAL + result bodies); empty disables persistence")
+		cacheOn    = fs.Bool("cache", true, "serve repeat submissions from the content-addressed result cache")
+		cacheMax   = fs.Int64("cache-max-bytes", cache.DefaultMaxBytes, "result cache budget in bytes of stored NDJSON")
 	)
 	obsAddr, obsStats := cli.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -108,12 +124,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return ev.Type != serve.EventSummary
 	})
 
+	// Persistence and caching are daemon policy, not core policy: the serve
+	// core treats both as opt-in so its determinism tests exercise real
+	// recomputation, while the daemon defaults the cache on and enables the
+	// durable store whenever -data-dir names a directory.
+	var resultCache *cache.Cache
+	if *cacheOn {
+		resultCache = cache.New(*cacheMax)
+	}
+	var jobStore *store.Store
+	if *dataDir != "" {
+		var err error
+		jobStore, err = store.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "cos-serve: %v\n", err)
+			return 1
+		}
+		defer jobStore.Close()
+	}
+
 	srv := serve.New(serve.Config{
 		Shards:         *shards,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		Journal:        journal,
 		SummaryEvery:   *summary,
+		Cache:          resultCache,
+		Store:          jobStore,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -28,8 +28,10 @@ func TestLibraryPackagesStayTransportFree(t *testing.T) {
 		module + "/internal/coding",
 		module + "/internal/cos",
 		module + "/internal/channel",
-		module + "/internal/serve",     // transport-free core; servehttp is the edge
-		module + "/internal/obs/event", // journal is transport-free; /events streams it
+		module + "/internal/serve",       // transport-free core; servehttp is the edge
+		module + "/internal/serve/cache", // content-addressed result cache stays pure
+		module + "/internal/serve/store", // durable WAL store: files only, no transport
+		module + "/internal/obs/event",   // journal is transport-free; /events streams it
 	}
 	forbidden := func(imp string) bool {
 		return imp == "net/http" ||

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"testing"
+
+	"cos/internal/obs"
+	"cos/internal/serve/cache"
+)
+
+// benchCacheOut enables TestWriteBenchCacheReport; `make bench-cache`
+// points it at BENCH_cache.json.
+var benchCacheOut = flag.String("bench-cache-out", "", "write the result-cache speedup report to this JSON file")
+
+// TestWriteBenchCacheReport regenerates BENCH_cache.json (via `make
+// bench-cache`): it runs N distinct link specs cold (every job computed on
+// the shard pool), resubmits the same N specs warm (every job served from
+// the content-addressed result cache), verifies each warm stream is
+// byte-identical to its cold run, and reports the jobs/sec on both sides.
+// The acceptance bar is a >= 10x warm/cold speedup — a cache hit is a map
+// lookup plus a buffer copy, against an FFT/Viterbi simulation. It skips
+// itself unless -bench-cache-out is set so `go test ./...` stays fast.
+func TestWriteBenchCacheReport(t *testing.T) {
+	if *benchCacheOut == "" {
+		t.Skip("set -bench-cache-out to write the report")
+	}
+
+	const n = 64
+	shards := runtime.GOMAXPROCS(0)
+	s := New(Config{Shards: shards, QueueDepth: n, Metrics: obs.NewRegistry(), Cache: cache.New(0)})
+	defer s.Drain(30 * time.Second)
+	specFor := func(i int) Spec {
+		return Spec{Kind: KindLink, Seed: int64(i + 1), PayloadBytes: 256, Packets: 50, ControlBits: 32}
+	}
+
+	runAll := func(wantCached bool) (time.Duration, [][]byte) {
+		start := time.Now()
+		jobs := make([]*Job, 0, n)
+		for i := 0; i < n; i++ {
+			j, err := s.Submit(specFor(i))
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			if j.Cached() != wantCached {
+				t.Fatalf("job %d cached=%v, want %v", i, j.Cached(), wantCached)
+			}
+			jobs = append(jobs, j)
+		}
+		bodies := make([][]byte, 0, n)
+		for i, j := range jobs {
+			<-j.Done()
+			if st := j.Status(); st.State != "done" {
+				t.Fatalf("job %d finished %q (err %q)", i, st.State, st.Error)
+			}
+			body, err := io.ReadAll(j.Result())
+			if err != nil {
+				t.Fatal(err)
+			}
+			bodies = append(bodies, body)
+		}
+		return time.Since(start), bodies
+	}
+
+	coldElapsed, coldBodies := runAll(false)
+	warmElapsed, warmBodies := runAll(true)
+	for i := range coldBodies {
+		if !bytes.Equal(coldBodies[i], warmBodies[i]) {
+			t.Fatalf("spec %d: warm stream differs from cold (%d vs %d bytes)",
+				i, len(warmBodies[i]), len(coldBodies[i]))
+		}
+	}
+
+	coldJPS := float64(n) / coldElapsed.Seconds()
+	warmJPS := float64(n) / warmElapsed.Seconds()
+	speedup := warmJPS / coldJPS
+	if speedup < 10 {
+		t.Fatalf("warm/cold speedup = %.1fx, want >= 10x (cold %.0f jobs/sec, warm %.0f jobs/sec)",
+			speedup, coldJPS, warmJPS)
+	}
+
+	report := struct {
+		Description    string  `json:"description"`
+		Shards         int     `json:"shards"`
+		Jobs           int     `json:"jobs"`
+		ColdSeconds    float64 `json:"cold_seconds"`
+		WarmSeconds    float64 `json:"warm_seconds"`
+		ColdJobsPerSec float64 `json:"cold_jobs_per_second"`
+		WarmJobsPerSec float64 `json:"warm_jobs_per_second"`
+		Speedup        float64 `json:"speedup"`
+		BytesPerJob    int     `json:"result_bytes_per_job"`
+		ByteIdentical  bool    `json:"byte_identical"`
+		GoVersion      string  `json:"go_version"`
+	}{
+		Description:    "content-addressed result cache: N distinct link specs run cold (computed on the shard pool) then resubmitted warm (served from the cache); every warm NDJSON stream is asserted byte-identical to its cold run",
+		Shards:         shards,
+		Jobs:           n,
+		ColdSeconds:    coldElapsed.Seconds(),
+		WarmSeconds:    warmElapsed.Seconds(),
+		ColdJobsPerSec: coldJPS,
+		WarmJobsPerSec: warmJPS,
+		Speedup:        speedup,
+		BytesPerJob:    len(coldBodies[0]),
+		ByteIdentical:  true,
+		GoVersion:      runtime.Version(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchCacheOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.1fx speedup (cold %.0f -> warm %.0f jobs/sec, %d byte-identical streams)",
+		*benchCacheOut, speedup, coldJPS, warmJPS, n)
+}

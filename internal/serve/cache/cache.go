@@ -1,0 +1,144 @@
+// Package cache is the content-addressed result cache behind cos-serve's
+// admission path: finished NDJSON result bodies keyed by the canonical
+// spec digest (serve.Spec.Digest). Because a job's output is a pure
+// function of its normalized spec, a digest hit can be streamed to the
+// client byte-for-byte without touching a shard — repeat submissions of
+// the same experiment become lookups instead of FFT/Viterbi work.
+//
+// The cache is bounded by total body bytes with LRU eviction, safe for
+// concurrent use, and — like the rest of the serve core — transport-free:
+// it imports only container/list and sync, and the repository's
+// import-hygiene test keeps it that way.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultMaxBytes bounds a cache built with New(0): 256 MiB of result
+// bodies, a few thousand typical link-job streams.
+const DefaultMaxBytes = 256 << 20
+
+// Cache is a bounded, content-addressed store of result byte streams.
+// Create one with New; all methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	lru      *list.List // front = most recently used; values are *entry
+	byDigest map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type entry struct {
+	digest string
+	body   []byte
+}
+
+// New returns a cache holding at most maxBytes of result bodies
+// (<= 0 selects DefaultMaxBytes).
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		byDigest: map[string]*list.Element{},
+	}
+}
+
+// Get returns the stored body for digest and marks it recently used. The
+// returned slice is the cache's copy: callers must treat it as read-only.
+func (c *Cache) Get(digest string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byDigest[digest]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).body, true
+}
+
+// Contains reports whether digest is cached without touching LRU order or
+// the hit/miss counters.
+func (c *Cache) Contains(digest string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byDigest[digest]
+	return ok
+}
+
+// Put stores body under digest, evicting least-recently-used entries to
+// stay within the byte budget. The cache keeps a reference to body — the
+// caller must not mutate it afterwards. A body larger than the whole
+// budget is refused rather than evicting everything for one entry.
+// Re-putting an existing digest refreshes its LRU position; the body is
+// content-addressed, so the bytes cannot differ.
+func (c *Cache) Put(digest string, body []byte) {
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byDigest[digest]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.bytes += int64(len(body))
+	c.byDigest[digest] = c.lru.PushFront(&entry{digest: digest, body: body})
+	for c.bytes > c.maxBytes {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		e := c.lru.Remove(oldest).(*entry)
+		delete(c.byDigest, e.digest)
+		c.bytes -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byDigest)
+}
+
+// Bytes returns the total body bytes currently cached.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Entries and Bytes describe current occupancy.
+	Entries int
+	Bytes   int64
+	// Hits and Misses count Get outcomes; Evictions counts entries
+	// removed to stay within the byte budget.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   len(c.byDigest),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

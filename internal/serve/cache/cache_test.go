@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutAndStats(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("d1"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	body := []byte("line1\nline2\n")
+	c.Put("d1", body)
+	got, ok := c.Get("d1")
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want stored body", got, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != int64(len(body)) {
+		t.Fatalf("Len/Bytes = %d/%d, want 1/%d", c.Len(), c.Bytes(), len(body))
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 0 evictions", st)
+	}
+	if !c.Contains("d1") || c.Contains("d2") {
+		t.Fatal("Contains disagrees with contents")
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	c := New(30) // room for three 10-byte bodies
+	ten := func(i int) []byte { return []byte(fmt.Sprintf("%010d", i)) }
+	c.Put("a", ten(1))
+	c.Put("b", ten(2))
+	c.Put("c", ten(3))
+	// Touch "a" so "b" is the least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("d", ten(4)) // must evict "b"
+	if c.Contains("b") {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, want := range []string{"a", "c", "d"} {
+		if !c.Contains(want) {
+			t.Fatalf("entry %s evicted out of LRU order", want)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Bytes != 30 {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+}
+
+func TestOversizedBodyRefused(t *testing.T) {
+	c := New(10)
+	c.Put("big", make([]byte, 11))
+	if c.Len() != 0 {
+		t.Fatal("an oversized body was admitted")
+	}
+	c.Put("fits", make([]byte, 10))
+	if !c.Contains("fits") {
+		t.Fatal("a budget-sized body was refused")
+	}
+}
+
+func TestRePutRefreshesWithoutDoubleCount(t *testing.T) {
+	c := New(100)
+	c.Put("d", []byte("0123456789"))
+	c.Put("d", []byte("0123456789"))
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("Len/Bytes after re-put = %d/%d, want 1/10", c.Len(), c.Bytes())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := fmt.Sprintf("digest-%d", i%32)
+				c.Put(d, []byte(d))
+				if body, ok := c.Get(d); ok && string(body) != d {
+					t.Errorf("Get(%s) returned foreign body %q", d, body)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,7 +2,13 @@
 // daemon's own tests are its first consumer; it wraps submit, status,
 // cancellation, and NDJSON result streaming with typed errors that expose
 // the server's admission decisions (429 overload with Retry-After, 503
-// drain).
+// drain) as errors.Is-compatible sentinels.
+//
+// The canonical surface is four calls — Submit, Wait, Result, Events —
+// plus Status/Jobs/Cancel/Healthy lookups. Submit takes SubmitOptions
+// (idempotency key, per-call deadline) and reports cache outcomes: a
+// submission served from the server's content-addressed result cache
+// returns a Status with Cached set and the full stream already available.
 package client
 
 import (
@@ -20,26 +26,89 @@ import (
 	"cos/internal/serve"
 )
 
-// APIError is a non-2xx response from the server.
+// Error codes from the server's error envelope (the servehttp Code*
+// vocabulary). Stable: branch on these, not on message text.
+const (
+	CodeInvalidSpec     = "invalid_spec"
+	CodeBadRequest      = "bad_request"
+	CodeUnknownJob      = "unknown_job"
+	CodePayloadTooLarge = "payload_too_large"
+	CodeOverloaded      = "overloaded"
+	CodeDraining        = "draining"
+	CodeNotFound        = "not_found"
+	CodeInternal        = "internal"
+)
+
+// APIError is a non-2xx response from the server. It unwraps to the serve
+// package's sentinel errors, so callers write
+//
+//	errors.Is(err, serve.ErrOverloaded)
+//
+// instead of inspecting status codes.
 type APIError struct {
 	// StatusCode is the HTTP status.
 	StatusCode int
+	// Code is the machine-readable error code from the envelope ("" when
+	// the server predates the envelope or the body was unreadable).
+	Code string
 	// Message is the server's error string.
 	Message string
-	// RetryAfter is the parsed Retry-After hint (zero when absent).
+	// RetryAfter is the server's retry hint (zero when absent), from the
+	// envelope's retry_after_ms or the Retry-After header.
 	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("serve client: server returned %d (%s): %s", e.StatusCode, e.Code, e.Message)
+	}
 	return fmt.Sprintf("serve client: server returned %d: %s", e.StatusCode, e.Message)
 }
 
+// Unwrap maps the error code onto the serve sentinels for errors.Is.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case CodeOverloaded:
+		return serve.ErrOverloaded
+	case CodeDraining:
+		return serve.ErrDraining
+	case CodeUnknownJob:
+		return serve.ErrUnknownJob
+	}
+	// Legacy servers send a bare string envelope with no code: fall back
+	// to the status mapping so errors.Is keeps working.
+	switch e.StatusCode {
+	case http.StatusTooManyRequests:
+		return serve.ErrOverloaded
+	case http.StatusServiceUnavailable:
+		return serve.ErrDraining
+	case http.StatusNotFound:
+		return serve.ErrUnknownJob
+	}
+	return nil
+}
+
 // Overloaded reports a 429 admission rejection.
-func (e *APIError) Overloaded() bool { return e.StatusCode == http.StatusTooManyRequests }
+//
+// Deprecated: use errors.Is(err, serve.ErrOverloaded).
+func (e *APIError) Overloaded() bool { return errors.Is(e, serve.ErrOverloaded) }
 
 // Draining reports a 503 drain rejection.
-func (e *APIError) Draining() bool { return e.StatusCode == http.StatusServiceUnavailable }
+//
+// Deprecated: use errors.Is(err, serve.ErrDraining).
+func (e *APIError) Draining() bool { return errors.Is(e, serve.ErrDraining) }
+
+// SubmitOptions refines one Submit call. The zero value submits plainly.
+type SubmitOptions struct {
+	// IdempotencyKey makes retries safe: the server returns the job the
+	// first submission with this key admitted instead of admitting again.
+	// Sent as the X-Cos-Idempotency-Key header. Empty disables.
+	IdempotencyKey string
+	// Deadline bounds this submission round-trip (zero means the ctx
+	// governs alone).
+	Deadline time.Time
+}
 
 // Client talks to one cos-serve instance.
 type Client struct {
@@ -77,18 +146,50 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 			apiErr.RetryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	var body struct {
-		Error string `json:"error"`
-	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
-		apiErr.Message = body.Error
-	}
+	decodeEnvelope(resp.Body, apiErr)
 	return nil, apiErr
 }
 
-// Submit posts a job spec and returns the accepted job's status.
-func (c *Client) Submit(ctx context.Context, spec serve.Spec) (serve.Status, error) {
+// decodeEnvelope fills apiErr from the response body. It accepts both the
+// typed envelope {"error":{"code":...,"message":...,"retry_after_ms":...}}
+// and the legacy bare-string form {"error":"..."}.
+func decodeEnvelope(body io.Reader, apiErr *APIError) {
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(body, 1<<16)).Decode(&env); err != nil || len(env.Error) == 0 {
+		return
+	}
+	var info struct {
+		Code         string `json:"code"`
+		Message      string `json:"message"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(env.Error, &info); err == nil {
+		apiErr.Code = info.Code
+		apiErr.Message = info.Message
+		if info.RetryAfterMS > 0 {
+			apiErr.RetryAfter = time.Duration(info.RetryAfterMS) * time.Millisecond
+		}
+		return
+	}
+	var legacy string
+	if err := json.Unmarshal(env.Error, &legacy); err == nil {
+		apiErr.Message = legacy
+	}
+}
+
+// Submit posts a job spec and returns the admitted job's status. A Status
+// with Cached set was served from the server's content-addressed result
+// cache: the job is already terminal and Result returns the full stream
+// immediately.
+func (c *Client) Submit(ctx context.Context, spec serve.Spec, opts SubmitOptions) (serve.Status, error) {
 	var st serve.Status
+	if !opts.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opts.Deadline)
+		defer cancel()
+	}
 	payload, err := json.Marshal(spec)
 	if err != nil {
 		return st, err
@@ -98,6 +199,9 @@ func (c *Client) Submit(ctx context.Context, spec serve.Spec) (serve.Status, err
 		return st, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if opts.IdempotencyKey != "" {
+		req.Header.Set("X-Cos-Idempotency-Key", opts.IdempotencyKey)
+	}
 	resp, err := c.do(req)
 	if err != nil {
 		return st, err
@@ -106,7 +210,8 @@ func (c *Client) Submit(ctx context.Context, spec serve.Spec) (serve.Status, err
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
-// Status fetches one job's status.
+// Status fetches one job's status. id may be a job ID or a spec digest
+// (resolving to the newest job for that spec).
 func (c *Client) Status(ctx context.Context, id string) (serve.Status, error) {
 	var st serve.Status
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id, nil)
@@ -149,9 +254,10 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	return resp.Body.Close()
 }
 
-// Result opens the job's NDJSON result stream. The reader delivers records
-// as the job produces them and ends when the job reaches a terminal state;
-// the caller must Close it.
+// Result opens the job's NDJSON result stream. id may be a job ID or a
+// spec digest; a digest with no live job serves the stored result body.
+// The reader delivers records as the job produces them and ends when the
+// job reaches a terminal state; the caller must Close it.
 func (c *Client) Result(ctx context.Context, id string) (io.ReadCloser, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id+"/result", nil)
 	if err != nil {
@@ -177,7 +283,14 @@ func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
 
 // Wait polls until the job reaches a terminal state and returns its final
 // status.
-func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve.Status, error) {
+func (c *Client) Wait(ctx context.Context, id string) (serve.Status, error) {
+	return c.WaitPoll(ctx, id, 0)
+}
+
+// WaitPoll is Wait with an explicit poll interval (<= 0 selects 50ms).
+//
+// Deprecated: use Wait unless the poll cadence matters.
+func (c *Client) WaitPoll(ctx context.Context, id string, poll time.Duration) (serve.Status, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
@@ -207,8 +320,7 @@ func (c *Client) Healthy(ctx context.Context) (bool, error) {
 	}
 	resp, err := c.do(req)
 	if err != nil {
-		var apiErr *APIError
-		if errors.As(err, &apiErr) && apiErr.Draining() {
+		if errors.Is(err, serve.ErrDraining) {
 			return false, nil
 		}
 		return false, err

@@ -32,6 +32,14 @@ const (
 	EventJobFailed = "job_failed"
 	// EventJobCancelled: the job reached state cancelled.
 	EventJobCancelled = "job_cancelled"
+	// EventJobCached: a submission was served from the content-addressed
+	// result cache — the job was born terminal and never touched a shard.
+	EventJobCached = "job_cached"
+	// EventJobRecovered: a pending submission found in the durable store's
+	// WAL was re-admitted after a restart.
+	EventJobRecovered = "job_recovered"
+	// EventStoreRecovered: one summary of what WAL replay found at startup.
+	EventStoreRecovered = "store_recovered"
 	// EventDrainBegin: Drain was called; admission has stopped.
 	EventDrainBegin = "drain_begin"
 	// EventDrainEnd: every worker has exited; clean reports whether the
@@ -88,6 +96,45 @@ type TerminalEvent struct {
 	// Omitted for kinds with no exchange hook (figure jobs run through the
 	// experiment pool, which aggregates at the registry level instead).
 	StageNS map[string]int64 `json:"stage_ns,omitempty"`
+}
+
+// CachedEvent is the payload of EventJobCached.
+type CachedEvent struct {
+	Kind Kind  `json:"kind"`
+	Seed int64 `json:"seed"`
+	// Digest is the spec's content address — the cache key that hit.
+	Digest string `json:"digest"`
+	// ResultBytes is the length of the stored byte stream served.
+	ResultBytes int `json:"result_bytes"`
+}
+
+// RecoveredEvent is the payload of EventJobRecovered.
+type RecoveredEvent struct {
+	Kind   Kind   `json:"kind"`
+	Digest string `json:"digest"`
+	// PriorJob is the ID the submission carried in the previous process
+	// (informational; the recovered job has a fresh ID).
+	PriorJob string `json:"prior_job,omitempty"`
+}
+
+// StoreRecoveredEvent is the payload of EventStoreRecovered: what WAL
+// replay found and what the server did with it.
+type StoreRecoveredEvent struct {
+	// Records counts well-formed WAL records replayed.
+	Records int `json:"records"`
+	// Completed digests have durable result bodies; CacheWarmed of them
+	// were loaded into the result cache at startup.
+	Completed   int `json:"completed"`
+	CacheWarmed int `json:"cache_warmed"`
+	// Requeued submissions were re-admitted; Dropped could not be (corrupt
+	// or foreign-schema specs, or queues full during recovery — the WAL
+	// still holds them for the next restart).
+	Requeued int `json:"requeued"`
+	Dropped  int `json:"dropped,omitempty"`
+	// Failed digests are settled and neither re-run nor cached.
+	Failed int `json:"failed,omitempty"`
+	// TruncatedBytes is the torn WAL tail discarded (0 for a clean log).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
 }
 
 // DrainBeginEvent is the payload of EventDrainBegin.

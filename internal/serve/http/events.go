@@ -42,14 +42,14 @@ var (
 func handleEvents(s *serve.Server, w http.ResponseWriter, r *http.Request) {
 	j := s.Journal()
 	if j == nil {
-		writeError(w, http.StatusNotFound, errJournalDisabled)
+		writeError(w, http.StatusNotFound, CodeNotFound, errJournalDisabled)
 		return
 	}
 	q := r.URL.Query()
 
 	since, err := parseUint(q.Get("since"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	// SSE reconnects send the last seen id as a header.
@@ -62,7 +62,7 @@ func handleEvents(s *serve.Server, w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("buf"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, errBadBuf)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, errBadBuf)
 			return
 		}
 		buf = n

@@ -5,16 +5,32 @@
 //
 // Routes:
 //
-//	POST /jobs              submit a serve.Spec; 202 + job status
-//	GET  /jobs              list all job statuses
-//	GET  /jobs/{id}         one job's status
-//	GET  /jobs/{id}/result  stream the job's NDJSON results
-//	POST /jobs/{id}/cancel  request cancellation
-//	GET  /events            stream the journal as NDJSON or SSE
-//	GET  /healthz           200 while admitting, 503 while draining
+//	POST /jobs                  submit a serve.Spec; 202 + job status
+//	                            (200 + X-Cos-Cache: hit for a cache hit)
+//	GET  /jobs                  list all job statuses
+//	GET  /jobs/{key}            one job's status (key: job ID or spec digest)
+//	GET  /jobs/{key}/result     stream the job's NDJSON results; a digest
+//	                            with no live job serves the stored body
+//	POST /jobs/{key}/cancel     request cancellation
+//	GET  /events                stream the journal as NDJSON or SSE
+//	GET  /healthz               200 while admitting, 503 while draining
 //
+// Every non-2xx response carries one JSON envelope:
+//
+//	{"error": {"code": "<machine code>", "message": "<detail>",
+//	           "retry_after_ms": 1000}}
+//
+// with retry_after_ms present only on 429. The code vocabulary is the
+// Code* constants below; clients switch on codes, never on message text.
 // Admission pressure maps to status codes: a full shard queue returns 429
-// with a Retry-After hint, and a draining server returns 503.
+// (code "overloaded") with a Retry-After hint, and a draining server
+// returns 503 (code "draining").
+//
+// POST /jobs honors two request headers: X-Cos-Idempotency-Key
+// deduplicates retries (a repeated key returns the first admission's job),
+// and bodies over 1 MiB are refused with 413. The response's X-Cos-Cache
+// header reports whether the content-addressed result cache served the
+// submission ("hit") or the job ran ("miss").
 package servehttp
 
 import (
@@ -26,13 +42,60 @@ import (
 	"cos/internal/serve"
 )
 
-// errorBody is the JSON error envelope for every non-2xx response.
-type errorBody struct {
-	Error string `json:"error"`
+// Error codes carried in the error envelope. Stable API: clients branch on
+// these, not on HTTP status text or message wording.
+const (
+	// CodeInvalidSpec: the spec decoded but failed validation.
+	CodeInvalidSpec = "invalid_spec"
+	// CodeBadRequest: the request itself is malformed (bad JSON, unknown
+	// fields, bad query parameters).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownJob: no job (or stored result) matches the key.
+	CodeUnknownJob = "unknown_job"
+	// CodePayloadTooLarge: the request body exceeded MaxSpecBytes.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeOverloaded: the shard queue is full; retry after retry_after_ms.
+	CodeOverloaded = "overloaded"
+	// CodeDraining: the server is shutting down and admits nothing.
+	CodeDraining = "draining"
+	// CodeNotFound: the requested resource is not served here (e.g. the
+	// event journal is disabled).
+	CodeNotFound = "not_found"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the JSON error envelope for every non-2xx response.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
 }
 
-// RetryAfterSeconds is the hint sent with 429 responses.
-const RetryAfterSeconds = "1"
+// ErrorInfo is the envelope's payload.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS hints when to retry (429 only).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// RetryAfterSeconds is the Retry-After header sent with 429 responses;
+// retryAfterMS is the same hint inside the envelope.
+const (
+	RetryAfterSeconds = "1"
+	retryAfterMS      = 1000
+)
+
+// MaxSpecBytes bounds a POST /jobs body; larger requests get 413.
+const MaxSpecBytes = 1 << 20
+
+// Response headers.
+const (
+	// HeaderCache reports the submit cache outcome: "hit" or "miss".
+	HeaderCache = "X-Cos-Cache"
+	// HeaderIdempotencyKey is the request header carrying a client retry
+	// key (serve.SubmitOptions.IdempotencyKey).
+	HeaderIdempotencyKey = "X-Cos-Idempotency-Key"
+)
 
 // NewHandler routes the serve API onto s.
 func NewHandler(s *serve.Server) http.Handler {
@@ -43,27 +106,23 @@ func NewHandler(s *serve.Server) http.Handler {
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Jobs())
 	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /jobs/{key}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := lookup(s, w, r)
 		if !ok {
 			return
 		}
 		writeJSON(w, http.StatusOK, job.Status())
 	})
-	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := lookup(s, w, r)
-		if !ok {
-			return
-		}
-		streamResult(job, w, r)
+	mux.HandleFunc("GET /jobs/{key}/result", func(w http.ResponseWriter, r *http.Request) {
+		streamResultByKey(s, w, r)
 	})
-	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /jobs/{key}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := lookup(s, w, r)
 		if !ok {
 			return
 		}
 		if err := s.Cancel(job.ID()); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, job.Status())
@@ -73,7 +132,7 @@ func NewHandler(s *serve.Server) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Draining() {
-			writeError(w, http.StatusServiceUnavailable, serve.ErrDraining)
+			writeError(w, http.StatusServiceUnavailable, CodeDraining, serve.ErrDraining)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -82,35 +141,93 @@ func NewHandler(s *serve.Server) http.Handler {
 }
 
 func submit(s *serve.Server, w http.ResponseWriter, r *http.Request) {
-	var spec serve.Spec
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		}
 		return
 	}
-	job, err := s.Submit(spec)
+	spec, err := serve.DecodeSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	job, err := s.SubmitWith(spec, serve.SubmitOptions{
+		IdempotencyKey: r.Header.Get(HeaderIdempotencyKey),
+	})
 	switch {
 	case err == nil:
 		w.Header().Set("Location", "/jobs/"+job.ID())
-		writeJSON(w, http.StatusAccepted, job.Status())
+		if job.Cached() {
+			// Born terminal from the result cache: the full stream already
+			// exists, so this is a 200, not an accepted-for-processing 202.
+			w.Header().Set(HeaderCache, "hit")
+			writeJSON(w, http.StatusOK, job.Status())
+		} else {
+			w.Header().Set(HeaderCache, "miss")
+			writeJSON(w, http.StatusAccepted, job.Status())
+		}
 	case errors.Is(err, serve.ErrOverloaded):
 		w.Header().Set("Retry-After", RetryAfterSeconds)
-		writeError(w, http.StatusTooManyRequests, err)
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded, err)
 	case errors.Is(err, serve.ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
 	default: // spec validation
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err)
 	}
 }
 
+// lookup resolves the {key} path element — a job ID, or a spec digest
+// resolving to the newest job for that spec — to a live job.
 func lookup(s *serve.Server, w http.ResponseWriter, r *http.Request) (*serve.Job, bool) {
-	job, err := s.Job(r.PathValue("id"))
+	key := r.PathValue("key")
+	var (
+		job *serve.Job
+		err error
+	)
+	if serve.IsDigest(key) {
+		job, err = s.JobByDigest(key)
+	} else {
+		job, err = s.Job(key)
+	}
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeUnknownJob, err)
 		return nil, false
 	}
 	return job, true
+}
+
+// streamResultByKey serves GET /jobs/{key}/result. A job ID (or a digest
+// with a live job) streams that job's NDJSON as it is produced. A digest
+// with no live job — e.g. after a daemon restart — falls back to the
+// content-addressed result store and serves the finished body directly.
+func streamResultByKey(s *serve.Server, w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if serve.IsDigest(key) {
+		if job, err := s.JobByDigest(key); err == nil {
+			streamResult(job, w, r)
+			return
+		}
+		if body, ok := s.ResultByDigest(key); ok {
+			w.Header().Set(HeaderCache, "hit")
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			w.Write(body)
+			return
+		}
+		writeError(w, http.StatusNotFound, CodeUnknownJob, serve.ErrUnknownJob)
+		return
+	}
+	job, err := s.Job(key)
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeUnknownJob, err)
+		return
+	}
+	streamResult(job, w, r)
 }
 
 // streamResult copies the job's NDJSON stream to the client, flushing each
@@ -149,8 +266,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
+// writeError sends the typed error envelope. The retry hint rides along
+// automatically for CodeOverloaded.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	info := ErrorInfo{Code: code, Message: err.Error()}
+	if code == CodeOverloaded {
+		info.RetryAfterMS = retryAfterMS
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: info})
 }

@@ -36,7 +36,7 @@ func TestSubmitStatusAndResultRoundTrip(t *testing.T) {
 	_, c := startAPI(t, serve.Config{Shards: 2})
 	ctx := context.Background()
 
-	st, err := c.Submit(ctx, serve.Spec{Kind: serve.KindLink, Seed: 5, Packets: 2, PayloadBytes: 64})
+	st, err := c.Submit(ctx, serve.Spec{Kind: serve.KindLink, Seed: 5, Packets: 2, PayloadBytes: 64}, client.SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestSubmitStatusAndResultRoundTrip(t *testing.T) {
 		t.Fatalf("submit status = %+v", st)
 	}
 
-	final, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	final, err := c.Wait(ctx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestSubmitStatusAndResultRoundTrip(t *testing.T) {
 
 func TestSubmitValidationError(t *testing.T) {
 	_, c := startAPI(t, serve.Config{Shards: 1})
-	_, err := c.Submit(context.Background(), serve.Spec{Kind: "bogus"})
+	_, err := c.Submit(context.Background(), serve.Spec{Kind: "bogus"}, client.SubmitOptions{})
 	var apiErr *client.APIError
 	if !asAPIError(err, &apiErr) || apiErr.StatusCode != 400 {
 		t.Fatalf("err = %v, want 400 APIError", err)
@@ -111,17 +111,17 @@ func TestOverloadReturns429WithRetryAfter(t *testing.T) {
 	ctx := context.Background()
 
 	slow := serve.Spec{Kind: serve.KindLink, Packets: 1e6, PayloadBytes: 64}
-	first, err := c.Submit(ctx, slow)
+	first, err := c.Submit(ctx, slow, client.SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Wait for the first job to leave the queue, then fill it again.
 	waitRunning(t, c, first.ID)
-	if _, err := c.Submit(ctx, slow); err != nil {
+	if _, err := c.Submit(ctx, slow, client.SubmitOptions{}); err != nil {
 		t.Fatal(err)
 	}
 
-	_, err = c.Submit(ctx, slow)
+	_, err = c.Submit(ctx, slow, client.SubmitOptions{})
 	var apiErr *client.APIError
 	if !asAPIError(err, &apiErr) || !apiErr.Overloaded() {
 		t.Fatalf("err = %v, want 429 APIError", err)
@@ -141,7 +141,7 @@ func TestOverloadReturns429WithRetryAfter(t *testing.T) {
 		}
 	}
 	for _, j := range jobs {
-		final, err := c.Wait(ctx, j.ID, 5*time.Millisecond)
+		final, err := c.WaitPoll(ctx, j.ID, 5*time.Millisecond)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +156,7 @@ func TestDrainingReturns503(t *testing.T) {
 	ctx := context.Background()
 	srv.Drain(time.Second)
 
-	_, err := c.Submit(ctx, serve.Spec{Kind: serve.KindLink, Packets: 1, PayloadBytes: 64})
+	_, err := c.Submit(ctx, serve.Spec{Kind: serve.KindLink, Packets: 1, PayloadBytes: 64}, client.SubmitOptions{})
 	var apiErr *client.APIError
 	if !asAPIError(err, &apiErr) || !apiErr.Draining() {
 		t.Fatalf("submit on draining server: err = %v, want 503 APIError", err)
@@ -181,7 +181,7 @@ func TestResultStreamsWhileRunning(t *testing.T) {
 	_, c := startAPI(t, serve.Config{Shards: 1})
 	ctx := context.Background()
 
-	st, err := c.Submit(ctx, serve.Spec{Kind: serve.KindLink, Packets: 1e6, PayloadBytes: 64})
+	st, err := c.Submit(ctx, serve.Spec{Kind: serve.KindLink, Packets: 1e6, PayloadBytes: 64}, client.SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestResultStreamsWhileRunning(t *testing.T) {
 	if err := c.Cancel(ctx, st.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(ctx, st.ID, 5*time.Millisecond); err != nil {
+	if _, err := c.WaitPoll(ctx, st.ID, 5*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -3,30 +3,8 @@ package serve
 import (
 	"context"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
-
-	"cos"
-	"cos/internal/experiments"
-)
-
-// Kind selects which simulation workload a job runs.
-type Kind string
-
-const (
-	// KindLink pushes packets through one CoS link and reports per-packet
-	// delivery, detection, and SNR measurements.
-	KindLink Kind = "link"
-	// KindStream performs repeated SendStream transfers (multi-packet
-	// control messages) over one framed link.
-	KindStream Kind = "stream"
-	// KindWLAN runs the access-coordination network simulation, comparing
-	// CoS grants against explicit grant frames.
-	KindWLAN Kind = "wlan"
-	// KindFigure regenerates one named experiment figure via
-	// experiments.Run and streams its data points.
-	KindFigure Kind = "figure"
 )
 
 // State is a job's lifecycle position. The zero value is invalid; jobs are
@@ -72,187 +50,13 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// Spec describes one simulation job. It doubles as the submit wire format
-// (plain JSON), but carries no transport types — internal/serve/http owns
-// the HTTP side.
-//
-// A job's entire output is a pure function of its normalized Spec: every
-// random draw derives from Seed, never from scheduling, wall clock, or
-// which shard ran it. Two submissions of an identical Spec return
-// byte-identical result streams.
-type Spec struct {
-	// Kind selects the workload (required).
-	Kind Kind `json:"kind"`
-	// Seed drives all randomness (default 1).
-	Seed int64 `json:"seed,omitempty"`
-	// TimeoutMS overrides the server's default per-job deadline, in
-	// milliseconds (0 = server default).
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-
-	// SNRdB is the true channel SNR for link/stream/wlan jobs (default 18).
-	SNRdB float64 `json:"snr_db,omitempty"`
-	// Position is the receiver placement for link/stream jobs: "A", "B",
-	// "C", or "flat" (default "B").
-	Position string `json:"position,omitempty"`
-	// Mobile enables the walking-speed channel for link/stream jobs.
-	Mobile bool `json:"mobile,omitempty"`
-	// PayloadBytes is the data payload per packet (default 1024).
-	PayloadBytes int `json:"payload_bytes,omitempty"`
-
-	// Packets is the packet count for link jobs (default 100, max 1e6).
-	Packets int `json:"packets,omitempty"`
-	// ControlBits requests control bits per packet for link jobs
-	// (default 32; capped by the per-packet budget; 0 = data only).
-	ControlBits int `json:"control_bits,omitempty"`
-
-	// StreamBits is the control payload length per SendStream transfer
-	// (default 24, max 4096).
-	StreamBits int `json:"stream_bits,omitempty"`
-	// Sends is the number of stream transfers a stream job performs
-	// (default 10, max 1e4).
-	Sends int `json:"sends,omitempty"`
-
-	// Stations is the WLAN station count (default 3).
-	Stations int `json:"stations,omitempty"`
-	// Rounds is the WLAN scheduling round count (default 100, max 1e6).
-	Rounds int `json:"rounds,omitempty"`
-
-	// Figure is the experiment ID for figure jobs (see experiments.IDs).
-	Figure string `json:"figure,omitempty"`
-	// Scale shrinks figure sample sizes (default 0.1; 1 = publication).
-	Scale float64 `json:"scale,omitempty"`
-	// Workers bounds the figure's point-task pool (default 1; figure
-	// output is bit-identical for any worker count).
-	Workers int `json:"workers,omitempty"`
-}
-
-// normalized returns the spec with defaults applied. Execution and the
-// determinism guarantee are defined over the normalized form.
-func (s Spec) normalized() Spec {
-	if s.Seed == 0 {
-		s.Seed = 1
-	}
-	if s.SNRdB == 0 {
-		s.SNRdB = 18
-	}
-	if s.Position == "" {
-		s.Position = "B"
-	}
-	if s.PayloadBytes == 0 {
-		s.PayloadBytes = 1024
-	}
-	if s.Packets == 0 {
-		s.Packets = 100
-	}
-	if s.ControlBits == 0 && s.Kind == KindLink {
-		s.ControlBits = 32
-	}
-	if s.StreamBits == 0 {
-		s.StreamBits = 24
-	}
-	if s.Sends == 0 {
-		s.Sends = 10
-	}
-	if s.Stations == 0 {
-		s.Stations = 3
-	}
-	if s.Rounds == 0 {
-		s.Rounds = 100
-	}
-	if s.Scale == 0 {
-		s.Scale = 0.1
-	}
-	if s.Workers == 0 {
-		s.Workers = 1
-	}
-	return s
-}
-
-// parsePosition maps the spec's position name to a channel geometry.
-func parsePosition(name string) (cos.Position, error) {
-	switch strings.ToUpper(name) {
-	case "A":
-		return cos.PositionA, nil
-	case "B":
-		return cos.PositionB, nil
-	case "C":
-		return cos.PositionC, nil
-	case "FLAT":
-		return cos.PositionFlat, nil
-	default:
-		return 0, fmt.Errorf("serve: unknown position %q (want A, B, C or flat)", name)
-	}
-}
-
-// Validate checks a normalized spec before admission, so malformed jobs
-// are rejected at submit time instead of burning a worker slot.
-func (s Spec) Validate() error {
-	s = s.normalized()
-	switch s.Kind {
-	case KindLink, KindStream, KindWLAN, KindFigure:
-	case "":
-		return fmt.Errorf("serve: spec missing kind (want link, stream, wlan or figure)")
-	default:
-		return fmt.Errorf("serve: unknown kind %q (want link, stream, wlan or figure)", s.Kind)
-	}
-	if s.TimeoutMS < 0 {
-		return fmt.Errorf("serve: timeout_ms %d must be non-negative", s.TimeoutMS)
-	}
-	if s.Kind == KindLink || s.Kind == KindStream {
-		if _, err := parsePosition(s.Position); err != nil {
-			return err
-		}
-	}
-	if s.SNRdB < -10 || s.SNRdB > 60 {
-		return fmt.Errorf("serve: snr_db %v outside [-10,60]", s.SNRdB)
-	}
-	if s.PayloadBytes < 16 || s.PayloadBytes > 1<<16 {
-		return fmt.Errorf("serve: payload_bytes %d outside [16,65536]", s.PayloadBytes)
-	}
-	switch s.Kind {
-	case KindLink:
-		if s.Packets < 1 || s.Packets > 1e6 {
-			return fmt.Errorf("serve: packets %d outside [1,1000000]", s.Packets)
-		}
-		if s.ControlBits < 0 {
-			return fmt.Errorf("serve: control_bits %d must be non-negative", s.ControlBits)
-		}
-	case KindStream:
-		if s.StreamBits < 1 || s.StreamBits > 4096 {
-			return fmt.Errorf("serve: stream_bits %d outside [1,4096]", s.StreamBits)
-		}
-		if s.Sends < 1 || s.Sends > 1e4 {
-			return fmt.Errorf("serve: sends %d outside [1,10000]", s.Sends)
-		}
-	case KindWLAN:
-		if s.Stations < 1 || s.Stations > 15 {
-			return fmt.Errorf("serve: stations %d outside [1,15]", s.Stations)
-		}
-		if s.Rounds < 1 || s.Rounds > 1e6 {
-			return fmt.Errorf("serve: rounds %d outside [1,1000000]", s.Rounds)
-		}
-	case KindFigure:
-		if s.Figure == "" {
-			return fmt.Errorf("serve: figure job missing figure ID (known: %v)", experiments.IDs())
-		}
-		if _, ok := experiments.Get(s.Figure); !ok {
-			return fmt.Errorf("serve: unknown figure %q (known: %v)", s.Figure, experiments.IDs())
-		}
-		if s.Scale < 0 || s.Scale > 1 {
-			return fmt.Errorf("serve: scale %v outside (0,1]", s.Scale)
-		}
-		if s.Workers < 0 {
-			return fmt.Errorf("serve: workers %d must be non-negative", s.Workers)
-		}
-	}
-	return nil
-}
-
 // Job is one admitted simulation job. All fields are private; read state
 // through Status and results through Result.
 type Job struct {
-	id   string
-	spec Spec // normalized
+	id     string
+	spec   Spec   // normalized
+	digest string // content address: spec.Digest() of the normalized spec
+	cached bool   // born terminal from a result-cache hit; never ran
 
 	buf *buffer
 
@@ -265,6 +69,28 @@ type Job struct {
 	cancel    context.CancelFunc // non-nil while running
 	cancelReq bool               // client asked for cancellation
 	done      chan struct{}      // closed on terminal state
+}
+
+// newCachedJob builds a job born terminal from a result-cache hit: state
+// done, the stored byte stream already written and closed, Done() already
+// closed. It never touches a shard.
+func newCachedJob(id string, spec Spec, digest string, body []byte) *Job {
+	now := time.Now()
+	j := &Job{
+		id:        id,
+		spec:      spec,
+		digest:    digest,
+		cached:    true,
+		buf:       newBuffer(),
+		state:     StateDone,
+		submitted: now,
+		finished:  now,
+		done:      make(chan struct{}),
+	}
+	j.buf.Write(body)
+	j.buf.Close()
+	close(j.done)
+	return j
 }
 
 // Status is a point-in-time snapshot of a job, shaped for JSON.
@@ -281,6 +107,12 @@ type Status struct {
 	Error string `json:"error,omitempty"`
 	// Seed is the normalized seed the job runs with.
 	Seed int64 `json:"seed"`
+	// Digest is the spec's content address (Spec.Digest): equal digests
+	// mean byte-identical result streams.
+	Digest string `json:"digest"`
+	// Cached reports the job was served from the content-addressed result
+	// cache — born terminal, never touched a shard.
+	Cached bool `json:"cached,omitempty"`
 	// SubmittedAt/StartedAt/FinishedAt stamp the lifecycle (RFC 3339).
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -294,6 +126,14 @@ func (j *Job) ID() string { return j.id }
 
 // Spec returns the job's normalized spec.
 func (j *Job) Spec() Spec { return j.spec }
+
+// Digest returns the spec's content address (Spec.Digest of the
+// normalized spec), assigned at admission.
+func (j *Job) Digest() string { return j.digest }
+
+// Cached reports whether the job was served from the result cache: born
+// terminal with the stored byte stream, without touching a shard.
+func (j *Job) Cached() bool { return j.cached }
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() State {
@@ -323,6 +163,8 @@ func (j *Job) Status() Status {
 		Terminal:    j.state.Terminal(),
 		Error:       j.errMsg,
 		Seed:        j.spec.Seed,
+		Digest:      j.digest,
+		Cached:      j.cached,
 		SubmittedAt: j.submitted,
 		ResultBytes: j.buf.Len(),
 	}

@@ -37,6 +37,8 @@ import (
 
 	"cos/internal/obs"
 	"cos/internal/obs/event"
+	"cos/internal/serve/cache"
+	"cos/internal/serve/store"
 )
 
 // Typed admission errors; the HTTP layer maps these to status codes.
@@ -78,6 +80,21 @@ type Config struct {
 	// SummaryEvery is the period between rolling-window summary frames on
 	// the journal (0 disables; the daemon defaults to 1s).
 	SummaryEvery time.Duration
+	// Cache is the content-addressed result cache consulted at admission:
+	// a submission whose spec digest is cached returns a job born terminal
+	// with the stored byte stream, without touching a shard. Nil disables
+	// caching — every submission runs. (The core keeps this opt-in so
+	// determinism tests exercise real recomputation; the daemon enables it
+	// by default.)
+	Cache *cache.Cache
+	// Store is the durable job store. When set, every admission appends a
+	// WAL record, terminal results are persisted (done results with their
+	// NDJSON bodies, failures as settled markers), and New replays the
+	// store's recovery state: completed digests are loaded into the cache
+	// and submissions that never reached a terminal record are re-admitted.
+	// Nil disables persistence. The Server does not close the store; the
+	// owner does, after Drain.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +124,9 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string // job IDs in submission order
+	order    []string        // job IDs in submission order
+	byDigest map[string]*Job // newest job per spec digest
+	byKey    map[string]*Job // jobs by idempotency key
 	nextID   uint64
 	nextSh   uint64 // round-robin shard cursor
 	draining bool
@@ -125,6 +144,8 @@ type Server struct {
 	submitted    *obs.Counter
 	rejected     *obs.CounterFamily
 	finished     *obs.CounterFamily
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
 	jobSeconds   *obs.Histogram
 	queueSeconds *obs.Histogram
 }
@@ -139,6 +160,8 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
+		byDigest:   map[string]*Job{},
+		byKey:      map[string]*Job{},
 		shards:     make([]chan *Job, cfg.Shards),
 
 		queueDepth: cfg.Metrics.Gauge("serve_queue_depth",
@@ -151,6 +174,10 @@ func New(cfg Config) *Server {
 			"Jobs rejected at admission, by reason (overload, draining, invalid).", "reason"),
 		finished: cfg.Metrics.CounterFamily("serve_jobs_finished_total",
 			"Jobs reaching a terminal state, by state (done, failed, cancelled).", "state"),
+		cacheHits: cfg.Metrics.Counter("serve_cache_hits_total",
+			"Submissions served from the content-addressed result cache."),
+		cacheMisses: cfg.Metrics.Counter("serve_cache_misses_total",
+			"Submissions that missed the result cache and ran (0 when caching is disabled)."),
 		jobSeconds: cfg.Metrics.Histogram("serve_job_seconds",
 			"Job execution latency (running -> terminal).", nil),
 		queueSeconds: cfg.Metrics.Histogram("serve_job_queue_seconds",
@@ -176,13 +203,84 @@ func New(cfg Config) *Server {
 	if s.ops != nil && cfg.SummaryEvery > 0 {
 		s.startSummaryLoop(cfg.SummaryEvery)
 	}
+	s.recover()
 	return s
+}
+
+// recover replays the durable store's recovery state: completed result
+// bodies are loaded into the cache (so repeat submissions hit without
+// touching disk), and submissions that never reached a terminal record —
+// a crash, or a drain window that cancelled them — are re-admitted through
+// the normal Submit path and re-run.
+func (s *Server) recover() {
+	if s.cfg.Store == nil {
+		return
+	}
+	rec := s.cfg.Store.Recovery()
+	if rec.Records == 0 {
+		return
+	}
+	warmed := 0
+	for _, c := range rec.Completed {
+		if s.cfg.Cache == nil {
+			break // ResultByDigest still serves these straight from disk
+		}
+		if body, err := s.cfg.Store.ReadResult(c.Digest); err == nil {
+			s.cfg.Cache.Put(c.Digest, body)
+			warmed++
+		}
+	}
+	requeued, dropped := 0, 0
+	for _, p := range rec.Pending {
+		spec, err := DecodeCanonical(p.Spec)
+		if err != nil {
+			dropped++ // foreign schema version or corrupt spec: unrunnable
+			continue
+		}
+		job, err := s.SubmitWith(spec, SubmitOptions{})
+		if err != nil {
+			dropped++ // queue full mid-recovery; the WAL still holds it
+			continue
+		}
+		requeued++
+		s.emit(EventJobRecovered, job.ID(), RecoveredEvent{
+			Kind: spec.normalized().Kind, Digest: p.Digest, PriorJob: p.Job,
+		})
+	}
+	s.emit(EventStoreRecovered, "", StoreRecoveredEvent{
+		Records:        rec.Records,
+		Completed:      len(rec.Completed),
+		CacheWarmed:    warmed,
+		Requeued:       requeued,
+		Dropped:        dropped,
+		Failed:         len(rec.Failed),
+		TruncatedBytes: rec.TruncatedBytes,
+	})
+}
+
+// SubmitOptions refines SubmitWith admission.
+type SubmitOptions struct {
+	// IdempotencyKey deduplicates retries: a second submission carrying the
+	// same key returns the job the first one admitted instead of admitting
+	// another. Keys live for the server's lifetime. Empty disables
+	// deduplication. Orthogonal to content addressing: two different keys
+	// with the same spec are two submissions (the second may hit the cache).
+	IdempotencyKey string
 }
 
 // Submit validates spec, admits a job, and returns it. It fails fast with
 // ErrDraining once Drain has begun and ErrOverloaded when the target
-// shard's queue is full.
+// shard's queue is full. Equivalent to SubmitWith(spec, SubmitOptions{}).
 func (s *Server) Submit(spec Spec) (*Job, error) {
+	return s.SubmitWith(spec, SubmitOptions{})
+}
+
+// SubmitWith is Submit with options. When a result cache is configured and
+// the spec's digest is cached, the returned job is born terminal
+// (StateDone, Cached() true) with the stored byte stream — no shard work,
+// no queue slot. Admission control still applies: a draining server
+// refuses cache hits too.
+func (s *Server) SubmitWith(spec Spec, opts SubmitOptions) (*Job, error) {
 	norm := spec.normalized()
 	if err := spec.Validate(); err != nil {
 		s.rejected.With("invalid").Inc()
@@ -192,6 +290,7 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		})
 		return nil, err
 	}
+	digest := norm.Digest()
 
 	s.mu.Lock()
 	if s.draining {
@@ -203,10 +302,35 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		})
 		return nil, ErrDraining
 	}
+	if opts.IdempotencyKey != "" {
+		if prior, ok := s.byKey[opts.IdempotencyKey]; ok {
+			s.mu.Unlock()
+			return prior, nil // a retry of an admission that already happened
+		}
+	}
+	if body, ok := s.lookupResultLocked(digest); ok {
+		s.nextID++
+		job := newCachedJob(fmt.Sprintf("job-%06d", s.nextID), norm, digest, body)
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+		s.byDigest[digest] = job
+		if opts.IdempotencyKey != "" {
+			s.byKey[opts.IdempotencyKey] = job
+		}
+		s.mu.Unlock()
+		s.submitted.Inc()
+		s.cacheHits.Inc()
+		s.noteSubmit(false)
+		s.emit(EventJobCached, job.id, CachedEvent{
+			Kind: norm.Kind, Seed: norm.Seed, Digest: digest, ResultBytes: len(body),
+		})
+		return job, nil
+	}
 	s.nextID++
 	job := &Job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
 		spec:      norm,
+		digest:    digest,
 		buf:       newBuffer(),
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -222,8 +346,16 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		s.nextSh++
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
+		s.byDigest[digest] = job
+		if opts.IdempotencyKey != "" {
+			s.byKey[opts.IdempotencyKey] = job
+		}
 		s.mu.Unlock()
+		s.logSubmit(job)
 		s.submitted.Inc()
+		if s.cfg.Cache != nil {
+			s.cacheMisses.Inc()
+		}
 		s.queueDepth.Add(1)
 		s.noteSubmit(false)
 		s.emit(EventJobAdmitted, job.id, AdmittedEvent{
@@ -240,6 +372,63 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 			Reason: "overload", Kind: norm.Kind, Shard: shardIdx, QueueDepth: depth,
 		})
 		return nil, ErrOverloaded
+	}
+}
+
+// lookupResultLocked resolves digest to a finished result body: the cache
+// first, then the durable store (re-warming the cache on a disk hit, so
+// eviction costs one read, not permanence). Callers hold s.mu; the nested
+// cache lock is fine (nothing locks them in the other order) and the rare
+// disk fallback is a single small-file read.
+func (s *Server) lookupResultLocked(digest string) ([]byte, bool) {
+	if s.cfg.Cache == nil {
+		return nil, false
+	}
+	if body, ok := s.cfg.Cache.Get(digest); ok {
+		return body, true
+	}
+	if s.cfg.Store != nil {
+		if body, err := s.cfg.Store.ReadResult(digest); err == nil {
+			s.cfg.Cache.Put(digest, body)
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+// logSubmit appends the admission WAL record. Called off s.mu: the WAL
+// fsyncs, and replay tolerates the resulting append races (see the store
+// package's digest folding rules).
+func (s *Server) logSubmit(j *Job) {
+	if s.cfg.Store == nil {
+		return
+	}
+	canonical, err := j.spec.Canonical()
+	if err != nil {
+		return // impossible for a validated spec; nothing durable to write
+	}
+	_ = s.cfg.Store.LogSubmit(j.id, j.digest, canonical)
+}
+
+// persistTerminal makes a terminal state durable and cacheable: done
+// results enter the cache and the store (body first, then the WAL record);
+// failures append a settled marker so restarts do not retry them;
+// cancellations write nothing — absence is what makes them re-run after a
+// restart. Runs as a finish hook, before Done() observers wake.
+func (s *Server) persistTerminal(j *Job, st State) {
+	switch st {
+	case StateDone:
+		body := j.buf.Bytes()
+		if s.cfg.Cache != nil {
+			s.cfg.Cache.Put(j.digest, body)
+		}
+		if s.cfg.Store != nil {
+			_ = s.cfg.Store.LogResult(j.id, j.digest, "done", "", body)
+		}
+	case StateFailed:
+		if s.cfg.Store != nil {
+			_ = s.cfg.Store.LogResult(j.id, j.digest, "failed", j.Err(), nil)
+		}
 	}
 }
 
@@ -263,6 +452,27 @@ func (s *Server) Job(id string) (*Job, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	return j, nil
+}
+
+// JobByDigest returns the most recently admitted job for a spec digest.
+func (s *Server) JobByDigest(digest string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byDigest[digest]
+	if !ok {
+		return nil, fmt.Errorf("%w: digest %q", ErrUnknownJob, digest)
+	}
+	return j, nil
+}
+
+// ResultByDigest returns the finished result body for a spec digest from
+// the cache or the durable store, without admitting a job. The returned
+// slice is read-only. It reports false when the digest has no completed
+// result (never ran, still running, failed, or caching disabled).
+func (s *Server) ResultByDigest(digest string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lookupResultLocked(digest)
 }
 
 // Jobs snapshots every known job's status in submission order.
@@ -396,22 +606,28 @@ func (s *Server) runJob(j *Job) {
 
 	s.inflight.Add(-1)
 	s.jobSeconds.Observe(time.Since(start).Seconds())
-	// The journal event is a finish hook so it lands before Done() fires:
-	// "wait for the job, then read its trail" always sees the terminal event.
-	emit := func() { s.emitTerminalEvent(j, agg) }
+	// Both finish hooks land before Done() fires: "wait for the job, then
+	// read its trail / resubmit its spec" always sees the terminal journal
+	// event and the populated cache.
+	hooks := func(st State) []func() {
+		return []func(){
+			func() { s.persistTerminal(j, st) },
+			func() { s.emitTerminalEvent(j, agg) },
+		}
+	}
 	switch {
 	case err == nil:
 		s.finished.With("done").Inc()
-		j.finish(StateDone, "", emit)
+		j.finish(StateDone, "", hooks(StateDone)...)
 	case errors.Is(err, context.Canceled):
 		s.finished.With("cancelled").Inc()
-		j.finish(StateCancelled, "", emit)
+		j.finish(StateCancelled, "", hooks(StateCancelled)...)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.finished.With("failed").Inc()
-		j.finish(StateFailed, fmt.Sprintf("deadline exceeded after %v", timeout), emit)
+		j.finish(StateFailed, fmt.Sprintf("deadline exceeded after %v", timeout), hooks(StateFailed)...)
 	default:
 		s.finished.With("failed").Inc()
-		j.finish(StateFailed, err.Error(), emit)
+		j.finish(StateFailed, err.Error(), hooks(StateFailed)...)
 	}
 }
 
