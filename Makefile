@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events bench-cache figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events bench-cache bench-jobtrace figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -29,7 +29,9 @@ race:
 # cancellation paths under the race detector (signal-vs-submit,
 # drain-window expiry, and client cancellation all race by design), and
 # the durable store's WAL replay + cache recovery paths under the race
-# detector (WAL appends race admission and completion by design).
+# detector (WAL appends race admission and completion by design), and the
+# flight-recorder trace paths (capture determinism, cache reuse, restart
+# durability, HTTP round trip) under the race detector.
 ci: build vet
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -42,7 +44,8 @@ ci: build vet
 	$(GO) test -race ./internal/serve/store/ ./internal/serve/cache/
 	$(GO) test -race -run 'TestCacheHit|TestStoreRecovery|TestFailedJobsSettle' ./internal/serve/
 	$(GO) test -race -run 'TestSlowSubscriberNeverBlocksProducer|TestJournalFanoutConcurrency' ./internal/obs/event/
-	$(GO) test -race -run 'TestEventsSlowConsumerGap|TestEventsFollowStreamsLive|TestJobLifecycleEvents' ./internal/serve/ ./internal/serve/http/
+	$(GO) test -race -run 'TestEventsSlowConsumerGap|TestEventsFollowStreamsLive|TestEventsResumeAfterEviction|TestJobLifecycleEvents' ./internal/serve/ ./internal/serve/http/
+	$(GO) test -race -run 'TestTracedJobsByteIdentical|TestTraceCacheReuse|TestTraceSurvivesRestart|TestTraceRoundTrip' ./internal/serve/ ./internal/serve/http/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -86,6 +89,15 @@ bench-events:
 # warm/cold jobs-per-second acceptance bar.
 bench-cache:
 	$(GO) test -v ./internal/serve/ -run TestWriteBenchCacheReport -bench-cache-out $(CURDIR)/BENCH_cache.json
+
+# Regenerate BENCH_jobtrace.json: saturates the shard pool with distinct
+# link jobs untraced, traced event-only, and traced with a probe every 8th
+# packet (best of 3 each); records jobs/sec and run p99 per mode, uses the
+# untraced run-to-run spread as the noise floor for the ~0% untraced
+# overhead claim, and re-runs the probed pass to assert byte-identical
+# capture.
+bench-jobtrace:
+	$(GO) test -v -timeout 20m ./internal/serve/ -run TestWriteBenchJobtraceReport -bench-jobtrace-out $(CURDIR)/BENCH_jobtrace.json
 
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:

@@ -160,7 +160,7 @@ func TestRestartServesDurableResults(t *testing.T) {
 
 	addr, stop := startDaemon(t, "-data-dir", dataDir, "-summary-every", "0")
 	c := client.New("http://" + addr)
-	st, err := c.Submit(ctx, spec, client.SubmitOptions{})
+	st, err := c.Submit(ctx, spec, client.SubmitOptions{Trace: true, ProbeEvery: 2})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -173,6 +173,10 @@ func TestRestartServesDurableResults(t *testing.T) {
 	body, err := c.ResultBytes(ctx, st.ID)
 	if err != nil {
 		t.Fatal(err)
+	}
+	traceBody, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("trace before restart: %v", err)
 	}
 	stop()
 
@@ -201,6 +205,17 @@ func TestRestartServesDurableResults(t *testing.T) {
 	again, err := c2.ResultBytes(ctx, st2.ID)
 	if err != nil || string(again) != string(body) {
 		t.Fatalf("cached resubmission bytes differ (err %v)", err)
+	}
+
+	// The trace artifact survived too: the fresh process re-serves the
+	// first process's capture byte-identically, addressed by spec digest.
+	replayedTrace, err := c2.Trace(ctx, st.Digest)
+	if err != nil {
+		t.Fatalf("trace by digest after restart: %v", err)
+	}
+	if string(replayedTrace) != string(traceBody) {
+		t.Fatalf("restarted daemon served a %d-byte trace, original %d; trace bytes must be identical",
+			len(replayedTrace), len(traceBody))
 	}
 }
 

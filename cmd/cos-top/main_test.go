@@ -33,6 +33,8 @@ func fixtureJournal(t *testing.T) *event.Journal {
 	j.Append(serve.EventJobStarted, "job-000001", serve.StartedEvent{Kind: serve.KindLink, QueueWaitMS: 0.25})
 	j.Append(serve.EventJobFinished, "job-000001", serve.TerminalEvent{
 		Kind: serve.KindLink, State: "done", RunMS: 12.5, QueueWaitMS: 0.25, ResultBytes: 2048,
+		TraceDigest: "1f0e2d3c4b5a69788796a5b4c3d2e1f00112233445566778899aabbccddeeff0",
+		TraceBytes:  4096,
 		StageNS: map[string]int64{
 			"tx_encode": 4_000_000, "channel": 2_000_000, "rx_frontend": 5_500_000,
 			"detect": 500_000, "control_decode": 250_000, "evd_decode": 200_000, "feedback": 50_000,
@@ -93,6 +95,7 @@ func TestOnceSnapshotDeterministic(t *testing.T) {
 		"drain_end 1",
 		"job-000001",
 		"top=rx_frontend(5.5ms)",
+		"trace=1f0e2d3c4b5a(4096b)",
 		"reason=overload shard=0 depth=16",
 		"clean=true",
 	} {

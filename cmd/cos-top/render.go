@@ -157,6 +157,11 @@ func eventDetail(ev event.Event) string {
 		if d.Error != "" {
 			s += " err=" + d.Error
 		}
+		if d.TraceDigest != "" {
+			// Abbreviated content address of the flight-recorder artifact;
+			// fetch the full trace with GET /jobs/<digest>/trace.
+			s += fmt.Sprintf(" trace=%.12s(%db)", d.TraceDigest, d.TraceBytes)
+		}
 		if len(d.StageNS) > 0 {
 			// Top stage by time: the one-glance answer to "where did it go".
 			var top string

@@ -1,9 +1,10 @@
 // Command cos-trace inspects a JSON-lines event trace captured with
-// cos-sim -trace.
+// cos-sim -trace or exported from cos-serve's /jobs/{key}/trace endpoint.
 //
 //	cos-trace session.jsonl                  # summary (default subcommand)
 //	cos-trace summary [flags] session.jsonl  # delivery/detector/rate summary
 //	cos-trace report -o out.html session.jsonl
+//	curl -s $COS/jobs/$ID/trace | cos-trace summary -   # "-" reads stdin
 //
 // summary prints packet and control delivery rates, detector error totals,
 // control throughput, and the data-rate histogram. report renders the
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,7 +25,7 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 func usage(stderr io.Writer) int {
@@ -33,11 +35,12 @@ subcommands:
   summary   print delivery, detector and rate statistics (default)
   report    render a self-contained HTML flight-recorder report
 
-run "cos-trace <subcommand> -h" for that subcommand's flags`)
+"-" as the trace path reads NDJSON from stdin (e.g. piped from
+curl .../jobs/{key}/trace); run "cos-trace <subcommand> -h" for flags`)
 	return 2
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// A recognized first argument selects the subcommand; anything else is
 	// taken as the trace path for the historical default, `cos-trace
 	// <trace.jsonl>`, which behaves as `summary`.
@@ -52,9 +55,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	switch sub {
 	case "report":
-		return runReport(args, stdout, stderr)
+		return runReport(args, stdin, stdout, stderr)
 	default:
-		return runSummary(args, stdout, stderr)
+		return runSummary(args, stdin, stdout, stderr)
 	}
 }
 
@@ -73,22 +76,35 @@ func parseTraceArg(fs *flag.FlagSet, args []string, stderr io.Writer) (string, b
 	return fs.Arg(0), true
 }
 
-func readTrace(path string, stderr io.Writer) ([]trace.Event, int, bool) {
-	f, err := os.Open(path)
+// readTrace loads the trace at path ("-" reads stdin) and returns the
+// events plus an exit code: 0 on success, 1 on I/O or mid-stream data
+// errors, 2 when the stream breaks at the header position — the input is
+// not a trace at all, which is a usage error (wrong file, wrong pipe), so
+// it also prints the usage line.
+func readTrace(path string, stdin io.Reader, stderr io.Writer) ([]trace.Event, int, int) {
+	src := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "cos-trace: %v\n", err)
+			return nil, 0, 1
+		}
+		defer f.Close()
+		src = f
+	}
+	events, version, err := trace.ReadVersioned(src)
 	if err != nil {
 		fmt.Fprintf(stderr, "cos-trace: %v\n", err)
-		return nil, 0, false
+		var ferr *trace.FormatError
+		if errors.As(err, &ferr) && ferr.Event == 0 {
+			return nil, 0, usage(stderr)
+		}
+		return nil, 0, 1
 	}
-	defer f.Close()
-	events, version, err := trace.ReadVersioned(f)
-	if err != nil {
-		fmt.Fprintf(stderr, "cos-trace: %v\n", err)
-		return nil, 0, false
-	}
-	return events, version, true
+	return events, version, 0
 }
 
-func runSummary(args []string, stdout, stderr io.Writer) int {
+func runSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
 	obsAddr, obsStats := cli.ObsFlags(fs)
 	path, ok := parseTraceArg(fs, args, stderr)
@@ -101,9 +117,9 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer app.Close()
-	events, version, ok := readTrace(path, stderr)
-	if !ok {
-		return 1
+	events, version, code := readTrace(path, stdin, stderr)
+	if code != 0 {
+		return code
 	}
 	s, err := trace.Summarize(events)
 	if err != nil {
@@ -146,16 +162,16 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func runReport(args []string, stdout, stderr io.Writer) int {
+func runReport(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	out := fs.String("o", "", "write the HTML report to this file (default stdout)")
 	path, ok := parseTraceArg(fs, args, stderr)
 	if !ok {
 		return 2
 	}
-	events, version, ok := readTrace(path, stderr)
-	if !ok {
-		return 1
+	events, version, code := readTrace(path, stdin, stderr)
+	if code != 0 {
+		return code
 	}
 	dst := stdout
 	if *out != "" {

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cos/internal/trace"
+)
+
+// sampleTrace renders a minimal schema-v2 trace.
+func sampleTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for seq := 0; seq < 3; seq++ {
+		ev := trace.Event{Seq: seq, RateMbps: 24, DataOK: true, DataBytes: 64, MeasuredSNRdB: 18}
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSummaryFromStdin: "-" reads the trace from stdin, same output as a
+// file path.
+func TestSummaryFromStdin(t *testing.T) {
+	body := sampleTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromFile, fromStdin, stderr bytes.Buffer
+	if code := run([]string{"summary", path}, strings.NewReader(""), &fromFile, &stderr); code != 0 {
+		t.Fatalf("summary %s: exit %d, stderr %s", path, code, stderr.String())
+	}
+	if code := run([]string{"summary", "-"}, bytes.NewReader(body), &fromStdin, &stderr); code != 0 {
+		t.Fatalf("summary -: exit %d, stderr %s", code, stderr.String())
+	}
+	if fromFile.String() != fromStdin.String() {
+		t.Fatalf("stdin and file summaries differ:\n%s\n---\n%s", fromFile.String(), fromStdin.String())
+	}
+	if !strings.Contains(fromStdin.String(), "events:                 3") {
+		t.Fatalf("summary missing event count:\n%s", fromStdin.String())
+	}
+}
+
+// TestReportFromStdin: the report subcommand accepts "-" too.
+func TestReportFromStdin(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"report", "-"}, bytes.NewReader(sampleTrace(t)), &stdout, &stderr); code != 0 {
+		t.Fatalf("report -: exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "<") {
+		t.Fatal("report produced no HTML")
+	}
+}
+
+// TestMalformedHeaderExitsUsage: input that breaks at the header position
+// is a usage error — exit 2 with the usage text — while a trace that
+// breaks mid-stream stays a data error (exit 1).
+func TestMalformedHeaderExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"summary", "-"}, strings.NewReader("this is not ndjson\n"), &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("malformed header: exit %d, want 2 (stderr %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "usage: cos-trace") {
+		t.Fatalf("stderr missing usage text:\n%s", stderr.String())
+	}
+
+	// Valid header, then garbage: a data error, not a usage error.
+	stderr.Reset()
+	mid := "{\"cos_trace_schema\":2}\n{\"seq\":1}\nnot json\n"
+	code = run([]string{"summary", "-"}, strings.NewReader(mid), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("mid-stream corruption: exit %d, want 1 (stderr %s)", code, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "usage: cos-trace") {
+		t.Fatal("mid-stream corruption should not print usage")
+	}
+}
+
+// TestMissingFileExitsOne: a nonexistent path is an I/O error, exit 1.
+func TestMissingFileExitsOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"summary", filepath.Join(t.TempDir(), "nope.jsonl")}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+}

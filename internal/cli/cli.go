@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"cos/internal/obs"
 	"cos/internal/obs/obshttp"
 )
 
@@ -45,22 +46,29 @@ func ObsFlags(fs *flag.FlagSet) (metricsAddr *string, statsEvery *time.Duration)
 // App is one binary's booted runtime: a signal-cancelled context plus the
 // obs listener/stats logger, torn down together by Close.
 type App struct {
-	ctx     context.Context
-	stopSig context.CancelFunc
-	stopObs func()
+	ctx         context.Context
+	stopSig     context.CancelFunc
+	stopObs     func()
+	stopRuntime func()
 }
 
 // Boot installs SIGINT/SIGTERM cancellation and, when metricsAddr or
 // statsEvery are set, starts the obs HTTP listener and stats logger on the
 // default registry (logging the bound address to logw so ":0" is
-// discoverable).
+// discoverable), plus the runtime self-metrics sampler (goroutines, heap,
+// GC pauses) so every scraping or stats-printing daemon reports its own
+// health alongside job metrics.
 func Boot(metricsAddr string, statsEvery time.Duration, logw io.Writer) (*App, error) {
 	stopObs, err := obshttp.Expose(metricsAddr, statsEvery, logw)
 	if err != nil {
 		return nil, err
 	}
+	var stopRuntime func()
+	if metricsAddr != "" || statsEvery > 0 {
+		stopRuntime = obs.StartRuntimeMetrics(obs.Default(), 0)
+	}
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	return &App{ctx: ctx, stopSig: stopSig, stopObs: stopObs}, nil
+	return &App{ctx: ctx, stopSig: stopSig, stopObs: stopObs, stopRuntime: stopRuntime}, nil
 }
 
 // Context returns the context cancelled by SIGINT/SIGTERM.
@@ -72,6 +80,10 @@ func (a *App) Close() {
 	if a.stopSig != nil {
 		a.stopSig()
 		a.stopSig = nil
+	}
+	if a.stopRuntime != nil {
+		a.stopRuntime()
+		a.stopRuntime = nil
 	}
 	if a.stopObs != nil {
 		a.stopObs()

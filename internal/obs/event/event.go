@@ -159,6 +159,18 @@ func (j *Journal) LastSeq() uint64 {
 	return j.appended
 }
 
+// OldestSeq returns the sequence number of the oldest retained event (0
+// when the journal is empty). A resume request with since < OldestSeq-1
+// has lost events to eviction; consumers report the gap in-band.
+func (j *Journal) OldestSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.ring) == 0 {
+		return 0
+	}
+	return j.appended - uint64(len(j.ring)) + 1
+}
+
 // Evicted returns how many events have been dropped from the ring to make
 // room for newer ones (drop-oldest retention).
 func (j *Journal) Evicted() uint64 {

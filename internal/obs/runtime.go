@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimePauseBuckets spans 100ns..~3.3ms, matched to Go's sub-millisecond
+// stop-the-world pauses rather than the pipeline-scale DefBuckets.
+var runtimePauseBuckets = ExpBuckets(1e-7, 2, 15)
+
+// StartRuntimeMetrics registers process self-metrics on r and samples them
+// every interval (<= 0 selects 10s) until the returned stop function is
+// called. The metrics cover what an operator needs to correlate daemon
+// behaviour with job traffic — goroutine count, heap occupancy, and GC
+// pause distribution — using only the runtime package:
+//
+//	cos_runtime_goroutines        live goroutines (gauge)
+//	cos_runtime_heap_alloc_bytes  bytes of live heap objects (gauge)
+//	cos_runtime_heap_sys_bytes    heap memory obtained from the OS (gauge)
+//	cos_runtime_heap_objects      live heap object count (gauge)
+//	cos_runtime_next_gc_bytes     heap target of the next GC cycle (gauge)
+//	cos_runtime_uptime_seconds    seconds since StartRuntimeMetrics (gauge)
+//	cos_runtime_gc_total          completed GC cycles (counter)
+//	cos_runtime_gc_pause_seconds  stop-the-world pause durations (histogram)
+//
+// The first sample is taken synchronously, so the metrics are live as soon
+// as this returns. Stop is idempotent. Registering on the same registry
+// twice reuses the same metric handles (the registry deduplicates by
+// name); the second sampler simply overwrites the first's gauges with
+// equally fresh values.
+func StartRuntimeMetrics(r *Registry, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	s := &runtimeSampler{
+		start:      time.Now(),
+		goroutines: r.Gauge("cos_runtime_goroutines", "live goroutines"),
+		heapAlloc:  r.Gauge("cos_runtime_heap_alloc_bytes", "bytes of live heap objects"),
+		heapSys:    r.Gauge("cos_runtime_heap_sys_bytes", "heap memory obtained from the OS"),
+		heapObjs:   r.Gauge("cos_runtime_heap_objects", "live heap object count"),
+		nextGC:     r.Gauge("cos_runtime_next_gc_bytes", "heap target of the next GC cycle"),
+		uptime:     r.Gauge("cos_runtime_uptime_seconds", "seconds since runtime metrics started"),
+		gcCycles:   r.Counter("cos_runtime_gc_total", "completed GC cycles"),
+		gcPause:    r.Histogram("cos_runtime_gc_pause_seconds", "GC stop-the-world pause durations", runtimePauseBuckets),
+		done:       make(chan struct{}),
+	}
+	s.sample()
+	go s.loop(every)
+	return func() { s.stopOnce.Do(func() { close(s.done) }) }
+}
+
+type runtimeSampler struct {
+	start time.Time
+
+	goroutines, heapAlloc, heapSys, heapObjs, nextGC, uptime *Gauge
+	gcCycles                                                 *Counter
+	gcPause                                                  *Histogram
+
+	lastNumGC uint32 // GC cycles already folded into the histogram
+
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func (s *runtimeSampler) loop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+func (s *runtimeSampler) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(float64(m.HeapAlloc))
+	s.heapSys.Set(float64(m.HeapSys))
+	s.heapObjs.Set(float64(m.HeapObjects))
+	s.nextGC.Set(float64(m.NextGC))
+	s.uptime.Set(time.Since(s.start).Seconds())
+
+	// Fold the pauses of cycles completed since the last sample into the
+	// histogram. PauseNs is a ring of the last 256 pauses; if more than 256
+	// cycles elapsed between samples the overwritten ones are unrecoverable,
+	// so clamp — the cycle counter still advances by the true delta.
+	if delta := m.NumGC - s.lastNumGC; delta > 0 {
+		s.gcCycles.Add(uint64(delta))
+		n := delta
+		if n > uint32(len(m.PauseNs)) {
+			n = uint32(len(m.PauseNs))
+		}
+		for i := m.NumGC - n; i < m.NumGC; i++ {
+			s.gcPause.Observe(float64(m.PauseNs[i%uint32(len(m.PauseNs))]) / 1e9)
+		}
+		s.lastNumGC = m.NumGC
+	}
+}

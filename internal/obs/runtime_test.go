@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRuntimeMetricsSample: the first sample is synchronous, the gauges
+// reflect real runtime state, and stop is idempotent.
+func TestRuntimeMetricsSample(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeMetrics(r, time.Hour) // ticker never fires; test the sync sample
+	defer stop()
+
+	snap := r.Snapshot()
+	if g := snap["cos_runtime_goroutines"]; g < 1 {
+		t.Fatalf("goroutines = %v, want >= 1", g)
+	}
+	if h := snap["cos_runtime_heap_alloc_bytes"]; h <= 0 {
+		t.Fatalf("heap_alloc_bytes = %v, want > 0", h)
+	}
+	if o := snap["cos_runtime_heap_objects"]; o <= 0 {
+		t.Fatalf("heap_objects = %v, want > 0", o)
+	}
+	if n := snap["cos_runtime_next_gc_bytes"]; n <= 0 {
+		t.Fatalf("next_gc_bytes = %v, want > 0", n)
+	}
+	if u, ok := snap["cos_runtime_uptime_seconds"]; !ok || u < 0 {
+		t.Fatalf("uptime_seconds = %v, want >= 0", u)
+	}
+
+	stop()
+	stop() // idempotent
+}
+
+// TestRuntimeMetricsGCPauses: forced GC cycles land in the pause histogram
+// and the cycle counter.
+func TestRuntimeMetricsGCPauses(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeMetrics(r, time.Hour)
+	defer stop()
+
+	before := r.Snapshot()["cos_runtime_gc_total"]
+	runtime.GC()
+	runtime.GC()
+	// Resample synchronously rather than waiting for the ticker.
+	stop2 := StartRuntimeMetrics(r, time.Hour)
+	defer stop2()
+
+	snap := r.Snapshot()
+	if got := snap["cos_runtime_gc_total"]; got < before+2 {
+		t.Fatalf("gc_total = %v, want >= %v", got, before+2)
+	}
+	if n := snap["cos_runtime_gc_pause_seconds_count"]; n < 2 {
+		t.Fatalf("gc_pause_seconds_count = %v, want >= 2", n)
+	}
+}
+
+// TestRuntimeMetricsProm: the runtime metrics render in the Prometheus
+// exposition alongside everything else.
+func TestRuntimeMetricsProm(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeMetrics(r, time.Hour)
+	defer stop()
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for _, name := range []string{
+		"cos_runtime_goroutines",
+		"cos_runtime_heap_alloc_bytes",
+		"cos_runtime_gc_pause_seconds_bucket",
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("prom exposition missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -37,6 +37,10 @@ const (
 	CodeDraining        = "draining"
 	CodeNotFound        = "not_found"
 	CodeInternal        = "internal"
+	// CodeTraceUnavailable: the job has no retrievable flight-recorder
+	// trace (untraced submission, not finished done, or the persisted
+	// trace body is gone).
+	CodeTraceUnavailable = "trace_unavailable"
 )
 
 // APIError is a non-2xx response from the server. It unwraps to the serve
@@ -75,6 +79,8 @@ func (e *APIError) Unwrap() error {
 		return serve.ErrDraining
 	case CodeUnknownJob:
 		return serve.ErrUnknownJob
+	case CodeTraceUnavailable:
+		return serve.ErrTraceUnavailable
 	}
 	// Legacy servers send a bare string envelope with no code: fall back
 	// to the status mapping so errors.Is keeps working.
@@ -108,6 +114,13 @@ type SubmitOptions struct {
 	// Deadline bounds this submission round-trip (zero means the ctx
 	// governs alone).
 	Deadline time.Time
+	// Trace asks the server to capture a flight-recorder trace for the job
+	// (sent as the X-Cos-Trace header); retrieve it with Trace once the
+	// job finishes done.
+	Trace bool
+	// ProbeEvery sets the traced job's PHY-probe cadence (X-Cos-Probe-Every
+	// header); 0 captures events only. Requires Trace.
+	ProbeEvery int
 }
 
 // Client talks to one cos-serve instance.
@@ -202,6 +215,12 @@ func (c *Client) Submit(ctx context.Context, spec serve.Spec, opts SubmitOptions
 	if opts.IdempotencyKey != "" {
 		req.Header.Set("X-Cos-Idempotency-Key", opts.IdempotencyKey)
 	}
+	if opts.Trace {
+		req.Header.Set("X-Cos-Trace", "1")
+	}
+	if opts.ProbeEvery != 0 {
+		req.Header.Set("X-Cos-Probe-Every", strconv.Itoa(opts.ProbeEvery))
+	}
 	resp, err := c.do(req)
 	if err != nil {
 		return st, err
@@ -279,6 +298,25 @@ func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
 	}
 	defer body.Close()
 	return io.ReadAll(body)
+}
+
+// Trace reads the job's complete flight-recorder trace (NDJSON, schema
+// v2), blocking until the job is terminal. id may be a job ID or a spec
+// digest; a digest with no live job serves the persisted trace artifact.
+// Untraced or unfinished jobs fail with an *APIError unwrapping to
+// serve.ErrTraceUnavailable. The pipe-friendly body feeds cos-trace
+// summary directly (cos-trace summary -).
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
 }
 
 // Wait polls until the job reaches a terminal state and returns its final

@@ -96,6 +96,13 @@ type TerminalEvent struct {
 	// Omitted for kinds with no exchange hook (figure jobs run through the
 	// experiment pool, which aggregates at the registry level instead).
 	StageNS map[string]int64 `json:"stage_ns,omitempty"`
+	// TraceDigest is the exemplar link from this (wall-clock) metrics
+	// record to the job's deterministic flight-recorder trace: the content
+	// address of the NDJSON body GET /jobs/{key}/trace serves. Present only
+	// when the job was traced and finished done; TraceBytes is that body's
+	// length.
+	TraceDigest string `json:"trace_digest,omitempty"`
+	TraceBytes  int    `json:"trace_bytes,omitempty"`
 }
 
 // CachedEvent is the payload of EventJobCached.
@@ -282,6 +289,8 @@ func (s *Server) emitTerminalEvent(j *Job, agg *stageAgg) {
 	if agg != nil {
 		ev.StageNS = agg.toMap()
 	}
+	ev.TraceDigest = st.TraceDigest
+	ev.TraceBytes = st.TraceBytes
 	typ := EventJobFinished
 	switch st.State {
 	case StateFailed.String():

@@ -85,6 +85,13 @@ func handleEvents(s *serve.Server, w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 
+	// A resume point older than the ring's oldest retained event means the
+	// client lost events to eviction; measure before subscribing so the
+	// replay that follows starts right after the reported gap.
+	evicted := uint64(0)
+	if oldest := j.OldestSeq(); since > 0 && oldest > since+1 {
+		evicted = oldest - since - 1
+	}
 	sub := j.Subscribe(since, buf)
 	defer sub.Cancel()
 
@@ -113,6 +120,10 @@ func handleEvents(s *serve.Server, w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		return true
+	}
+
+	if evicted > 0 && !write(gapEvent(evicted)) {
+		return
 	}
 
 	// The subscription channel is pre-filled with the replay and closes when

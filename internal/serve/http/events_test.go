@@ -243,6 +243,83 @@ func TestEventsSlowConsumerGap(t *testing.T) {
 	}
 }
 
+// TestEventsResumeAfterEviction: a subscriber reconnecting with a resume
+// point older than the ring's oldest retained seq must get an in-band
+// events_dropped gap record before any replayed or live event, so
+// consumers never mistake an evicted window for a complete stream.
+func TestEventsResumeAfterEviction(t *testing.T) {
+	const capacity = 8
+	srv, c := startAPI(t, serve.Config{Shards: 1, JournalCapacity: capacity})
+	ctx := context.Background()
+
+	const total = 50
+	for i := 0; i < total; i++ {
+		srv.Journal().Append("noise", "", nil)
+	}
+	oldest := srv.Journal().OldestSeq()
+	if oldest != total-capacity+1 {
+		t.Fatalf("oldest retained seq = %d, want %d", oldest, total-capacity+1)
+	}
+
+	// Resume from seq 2: events 3..oldest-1 are gone.
+	const since = 2
+	es, err := c.Events(ctx, client.EventQuery{NoFollow: true, Since: since})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+
+	first, ok := es.Next()
+	if !ok {
+		t.Fatal("stream ended before any record")
+	}
+	if first.Type != "events_dropped" {
+		t.Fatalf("first record = %q, want events_dropped before replay", first.Type)
+	}
+	var d struct {
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(first.Data, &d); err != nil {
+		t.Fatalf("bad gap payload %s: %v", first.Data, err)
+	}
+	if want := oldest - since - 1; d.Dropped != want {
+		t.Fatalf("gap record dropped = %d, want %d", d.Dropped, want)
+	}
+
+	// The replay that follows starts exactly at the oldest retained seq.
+	next := oldest
+	for {
+		ev, ok := es.Next()
+		if !ok {
+			break
+		}
+		if ev.Seq != next {
+			t.Fatalf("replay seq = %d, want %d", ev.Seq, next)
+		}
+		next++
+	}
+	if next != total+1 {
+		t.Fatalf("replay ended at seq %d, want %d", next-1, total)
+	}
+
+	// A resume point still inside the retained window reports no gap.
+	es2, err := c.Events(ctx, client.EventQuery{NoFollow: true, Since: oldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es2.Close()
+	ev, ok := es2.Next()
+	if !ok {
+		t.Fatal("in-window resume returned no events")
+	}
+	if ev.Type == "events_dropped" {
+		t.Fatalf("in-window resume emitted a spurious gap record: %s", ev.Data)
+	}
+	if ev.Seq != oldest+1 {
+		t.Fatalf("in-window resume first seq = %d, want %d", ev.Seq, oldest+1)
+	}
+}
+
 func TestEventsSSEFraming(t *testing.T) {
 	srv := serve.New(serve.Config{Shards: 1, Metrics: obs.NewRegistry()})
 	ts := httptest.NewServer(servehttp.NewHandler(srv))

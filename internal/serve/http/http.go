@@ -11,6 +11,12 @@
 //	GET  /jobs/{key}            one job's status (key: job ID or spec digest)
 //	GET  /jobs/{key}/result     stream the job's NDJSON results; a digest
 //	                            with no live job serves the stored body
+//	GET  /jobs/{key}/trace      the job's flight-recorder trace (NDJSON,
+//	                            schema v2); blocks until the job is
+//	                            terminal; 404 trace_unavailable for
+//	                            untraced or unfinished jobs
+//	GET  /jobs/{key}/trace/report  the same trace rendered as the
+//	                            deterministic self-contained HTML report
 //	POST /jobs/{key}/cancel     request cancellation
 //	GET  /events                stream the journal as NDJSON or SSE
 //	GET  /healthz               200 while admitting, 503 while draining
@@ -26,20 +32,25 @@
 // (code "overloaded") with a Retry-After hint, and a draining server
 // returns 503 (code "draining").
 //
-// POST /jobs honors two request headers: X-Cos-Idempotency-Key
-// deduplicates retries (a repeated key returns the first admission's job),
-// and bodies over 1 MiB are refused with 413. The response's X-Cos-Cache
-// header reports whether the content-addressed result cache served the
-// submission ("hit") or the job ran ("miss").
+// POST /jobs honors request headers: X-Cos-Idempotency-Key deduplicates
+// retries (a repeated key returns the first admission's job), X-Cos-Trace
+// ("1"/"true") asks for a flight-recorder trace, and X-Cos-Probe-Every
+// sets the trace's PHY-probe cadence. Bodies over 1 MiB are refused with
+// 413. The response's X-Cos-Cache header reports whether the
+// content-addressed result cache served the submission ("hit") or the job
+// ran ("miss").
 package servehttp
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 
 	"cos/internal/serve"
+	"cos/internal/trace"
 )
 
 // Error codes carried in the error envelope. Stable API: clients branch on
@@ -61,6 +72,10 @@ const (
 	// CodeNotFound: the requested resource is not served here (e.g. the
 	// event journal is disabled).
 	CodeNotFound = "not_found"
+	// CodeTraceUnavailable: the job exists but has no retrievable
+	// flight-recorder trace (untraced submission, not finished done, or
+	// the persisted trace body is gone).
+	CodeTraceUnavailable = "trace_unavailable"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal = "internal"
 )
@@ -95,6 +110,15 @@ const (
 	// HeaderIdempotencyKey is the request header carrying a client retry
 	// key (serve.SubmitOptions.IdempotencyKey).
 	HeaderIdempotencyKey = "X-Cos-Idempotency-Key"
+	// HeaderTrace is the POST /jobs request header asking for a
+	// flight-recorder trace ("1" or "true"; serve.SubmitOptions.Trace).
+	HeaderTrace = "X-Cos-Trace"
+	// HeaderProbeEvery is the POST /jobs request header setting the traced
+	// job's PHY-probe cadence (serve.SubmitOptions.ProbeEvery).
+	HeaderProbeEvery = "X-Cos-Probe-Every"
+	// HeaderTraceDigest reports the served trace body's content address on
+	// GET /jobs/{key}/trace responses.
+	HeaderTraceDigest = "X-Cos-Trace-Digest"
 )
 
 // NewHandler routes the serve API onto s.
@@ -115,6 +139,31 @@ func NewHandler(s *serve.Server) http.Handler {
 	})
 	mux.HandleFunc("GET /jobs/{key}/result", func(w http.ResponseWriter, r *http.Request) {
 		streamResultByKey(s, w, r)
+	})
+	mux.HandleFunc("GET /jobs/{key}/trace", func(w http.ResponseWriter, r *http.Request) {
+		body, digest, ok := resolveTrace(s, w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set(HeaderTraceDigest, digest)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	})
+	mux.HandleFunc("GET /jobs/{key}/trace/report", func(w http.ResponseWriter, r *http.Request) {
+		body, digest, ok := resolveTrace(s, w, r)
+		if !ok {
+			return
+		}
+		events, version, err := trace.ReadVersioned(bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
+			return
+		}
+		w.Header().Set(HeaderTraceDigest, digest)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		trace.WriteReport(w, events, version)
 	})
 	mux.HandleFunc("POST /jobs/{key}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := lookup(s, w, r)
@@ -156,9 +205,28 @@ func submit(s *serve.Server, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	job, err := s.SubmitWith(spec, serve.SubmitOptions{
+	opts := serve.SubmitOptions{
 		IdempotencyKey: r.Header.Get(HeaderIdempotencyKey),
-	})
+	}
+	switch v := r.Header.Get(HeaderTrace); v {
+	case "", "0", "false":
+	case "1", "true":
+		opts.Trace = true
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			errors.New("invalid "+HeaderTrace+" header: "+v))
+		return
+	}
+	if v := r.Header.Get(HeaderProbeEvery); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				errors.New("invalid "+HeaderProbeEvery+" header: "+v))
+			return
+		}
+		opts.ProbeEvery = n
+	}
+	job, err := s.SubmitWith(spec, opts)
 	switch {
 	case err == nil:
 		w.Header().Set("Location", "/jobs/"+job.ID())
@@ -176,9 +244,59 @@ func submit(s *serve.Server, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, CodeOverloaded, err)
 	case errors.Is(err, serve.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
+	case errors.Is(err, serve.ErrInvalidTraceOptions):
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 	default: // spec validation
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err)
 	}
+}
+
+// resolveTrace resolves {key} to a finished flight-recorder trace body
+// and its content address. A live job is waited to its terminal state
+// first (honoring client disconnect). Digest keys always consult
+// TraceByDigest, which prefers the newest job's capture but falls back
+// to the persisted trace artifact — so a digest stays servable after a
+// daemon restart even when an untraced cache-hit resubmission has since
+// become the digest's newest job. On failure the error envelope has
+// already been written.
+func resolveTrace(s *serve.Server, w http.ResponseWriter, r *http.Request) (body []byte, digest string, ok bool) {
+	key := r.PathValue("key")
+	if serve.IsDigest(key) {
+		job, jerr := s.JobByDigest(key)
+		if jerr == nil {
+			select {
+			case <-job.Done():
+			case <-r.Context().Done():
+				return nil, "", false
+			}
+		}
+		b, d, terr := s.TraceByDigest(key)
+		if terr == nil {
+			return b, d, true
+		}
+		if jerr != nil {
+			writeError(w, http.StatusNotFound, CodeUnknownJob, serve.ErrUnknownJob)
+		} else {
+			writeError(w, http.StatusNotFound, CodeTraceUnavailable, terr)
+		}
+		return nil, "", false
+	}
+	job, err := s.Job(key)
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeUnknownJob, err)
+		return nil, "", false
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		return nil, "", false
+	}
+	b, d, err := s.JobTrace(job)
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeTraceUnavailable, err)
+		return nil, "", false
+	}
+	return b, d, true
 }
 
 // lookup resolves the {key} path element — a job ID, or a spec digest

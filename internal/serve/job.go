@@ -58,6 +58,11 @@ type Job struct {
 	digest string // content address: spec.Digest() of the normalized spec
 	cached bool   // born terminal from a result-cache hit; never ran
 
+	// traced/probeEvery are the submission's trace request (immutable after
+	// admission): traced jobs capture a schema-v2 flight-recorder trace.
+	traced     bool
+	probeEvery int
+
 	buf *buffer
 
 	mu        sync.Mutex
@@ -69,6 +74,14 @@ type Job struct {
 	cancel    context.CancelFunc // non-nil while running
 	cancelReq bool               // client asked for cancellation
 	done      chan struct{}      // closed on terminal state
+
+	// traceDigest/traceBody land when a traced job finishes done: the body
+	// is the captured NDJSON trace, the digest its own SHA-256 content
+	// address. traceBody is nil for jobs recovered or cache-hit from the
+	// durable store (the body is read back from disk on demand).
+	traceDigest string
+	traceBody   []byte
+	traceBytes  int
 }
 
 // newCachedJob builds a job born terminal from a result-cache hit: state
@@ -119,6 +132,15 @@ type Status struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// ResultBytes counts NDJSON result bytes produced so far.
 	ResultBytes int `json:"result_bytes"`
+	// Traced reports the submission asked for a flight-recorder trace;
+	// ProbeEvery is the requested PHY-probe cadence (0 = spans only).
+	Traced     bool `json:"traced,omitempty"`
+	ProbeEvery int  `json:"probe_every,omitempty"`
+	// TraceDigest is the finished trace's own content address (SHA-256 of
+	// the NDJSON body served by GET /jobs/{key}/trace); set only once a
+	// traced job reaches state done. TraceBytes is that body's length.
+	TraceDigest string `json:"trace_digest,omitempty"`
+	TraceBytes  int    `json:"trace_bytes,omitempty"`
 }
 
 // ID returns the job's identifier.
@@ -167,6 +189,10 @@ func (j *Job) Status() Status {
 		Cached:      j.cached,
 		SubmittedAt: j.submitted,
 		ResultBytes: j.buf.Len(),
+		Traced:      j.traced,
+		ProbeEvery:  j.probeEvery,
+		TraceDigest: j.traceDigest,
+		TraceBytes:  j.traceBytes,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -237,6 +263,25 @@ func (j *Job) requestCancel(notify ...func()) {
 	if cancel != nil {
 		cancel()
 	}
+}
+
+// setTrace records a finished capture's artifact. Called by the shard
+// worker after run() returns, before the finish hooks persist and
+// journal the terminal state.
+func (j *Job) setTrace(digest string, body []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.traceDigest = digest
+	j.traceBody = body
+	j.traceBytes = len(body)
+}
+
+// traceInfo snapshots the trace artifact: its digest and the in-memory
+// body (nil when the body lives only in the durable store).
+func (j *Job) traceInfo() (digest string, body []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceDigest, j.traceBody
 }
 
 // cancelRequested reports whether a client cancellation is pending.

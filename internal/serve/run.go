@@ -18,17 +18,22 @@ import (
 //
 // agg, when non-nil, is wired into the workload's links as an exchange
 // observer so the caller can correlate the job with the flight recorder's
-// per-stage timings. Figure jobs have no per-link hook (they run through
-// the experiment pool) and leave agg untouched.
-func run(ctx context.Context, spec Spec, w io.Writer, agg *stageAgg) error {
+// per-stage timings. tc, when non-nil, rides the same hook and captures
+// the job's full schema-v2 trace (plus sampled PHY probes via
+// cos.WithProbe when tc.probeEvery >= 1). Figure jobs have no per-link
+// hook (they run through the experiment pool) and leave both untouched —
+// a traced figure job yields a header-only trace. WLAN jobs capture
+// events from every station link but no probes (wlan.Config has no probe
+// plumbing).
+func run(ctx context.Context, spec Spec, w io.Writer, agg *stageAgg, tc *traceCapture) error {
 	enc := json.NewEncoder(w)
 	switch spec.Kind {
 	case KindLink:
-		return runLink(ctx, spec, enc, agg)
+		return runLink(ctx, spec, enc, agg, tc)
 	case KindStream:
-		return runStream(ctx, spec, enc, agg)
+		return runStream(ctx, spec, enc, agg, tc)
 	case KindWLAN:
-		return runWLAN(ctx, spec, enc, agg)
+		return runWLAN(ctx, spec, enc, agg, tc)
 	case KindFigure:
 		return runFigure(ctx, spec, enc)
 	default:
@@ -48,8 +53,10 @@ type ConfigError struct {
 func (e *ConfigError) Error() string { return "serve: " + e.Field + ": " + e.Reason }
 
 // linkOptions builds the cos.Link options shared by link and stream jobs;
-// agg (when non-nil) is attached as the flight-recorder observer.
-func linkOptions(spec Spec, agg *stageAgg) ([]cos.Option, error) {
+// agg (when non-nil) is attached as the flight-recorder observer, and tc
+// (when non-nil) as the trace-capture observer, with probe sampling when
+// the capture asked for it.
+func linkOptions(spec Spec, agg *stageAgg, tc *traceCapture) ([]cos.Option, error) {
 	pos, err := parsePosition(spec.Position)
 	if err != nil {
 		return nil, err
@@ -64,6 +71,12 @@ func linkOptions(spec Spec, agg *stageAgg) ([]cos.Option, error) {
 	}
 	if agg != nil {
 		opts = append(opts, cos.WithObserver(agg.observe))
+	}
+	if tc != nil {
+		opts = append(opts, cos.WithObserver(tc.observe))
+		if tc.probeEvery >= 1 {
+			opts = append(opts, cos.WithProbe(tc.probeEvery, nil))
+		}
 	}
 	return opts, nil
 }
@@ -95,8 +108,8 @@ type linkSummary struct {
 	ElapsedSimSeconds float64 `json:"elapsed_sim_seconds"`
 }
 
-func runLink(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg) error {
-	opts, err := linkOptions(spec, agg)
+func runLink(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg, tc *traceCapture) error {
+	opts, err := linkOptions(spec, agg, tc)
 	if err != nil {
 		return err
 	}
@@ -183,8 +196,8 @@ type streamSummary struct {
 	PacketsUsed int    `json:"packets_used"`
 }
 
-func runStream(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg) error {
-	opts, err := linkOptions(spec, agg)
+func runStream(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg, tc *traceCapture) error {
+	opts, err := linkOptions(spec, agg, tc)
 	if err != nil {
 		return err
 	}
@@ -255,10 +268,18 @@ type wlanSummary struct {
 	CoSDataDeliveredPerLost float64 `json:"cos_data_delivered_per_lost"`
 }
 
-func runWLAN(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg) error {
+func runWLAN(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg, tc *traceCapture) error {
+	// wlan.Config carries a single observer hook; compose the stage
+	// aggregator and the trace capture when both are wanted. Probes are
+	// not plumbed through wlan, so WLAN traces carry events only.
 	var observer cos.Observer
-	if agg != nil {
+	switch {
+	case agg != nil && tc != nil:
+		observer = func(ex *cos.Exchange) { agg.observe(ex); tc.observe(ex) }
+	case agg != nil:
 		observer = agg.observe
+	case tc != nil:
+		observer = tc.observe
 	}
 	runOne := func(coord wlan.Coordination) (*wlan.Report, error) {
 		n, err := wlan.New(wlan.Config{

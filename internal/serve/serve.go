@@ -49,6 +49,14 @@ var (
 	ErrDraining = errors.New("serve: server is draining")
 	// ErrUnknownJob: no job with the requested ID (HTTP 404).
 	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrTraceUnavailable: the job has no retrievable flight-recorder trace
+	// — it was submitted untraced, did not finish done, or its persisted
+	// trace body is gone (HTTP 404).
+	ErrTraceUnavailable = errors.New("serve: trace unavailable")
+	// ErrInvalidTraceOptions: the submission's trace options are
+	// inconsistent — ProbeEvery < 0, or ProbeEvery > 0 without Trace
+	// (HTTP 400).
+	ErrInvalidTraceOptions = errors.New("serve: probe cadence requires tracing and must be >= 0")
 )
 
 // Config parameterizes a Server. The zero value selects sane defaults.
@@ -127,6 +135,12 @@ type Server struct {
 	order    []string        // job IDs in submission order
 	byDigest map[string]*Job // newest job per spec digest
 	byKey    map[string]*Job // jobs by idempotency key
+	// traces maps a spec digest to its finished trace artifact's metadata
+	// (the trace's own content address + capture cadence). Populated when a
+	// traced job finishes done and from store recovery; consulted so a
+	// cache-hit submission asking for the same cadence can reuse the
+	// persisted trace instead of re-running.
+	traces   map[string]traceMeta
 	nextID   uint64
 	nextSh   uint64 // round-robin shard cursor
 	draining bool
@@ -162,6 +176,7 @@ func New(cfg Config) *Server {
 		jobs:       map[string]*Job{},
 		byDigest:   map[string]*Job{},
 		byKey:      map[string]*Job{},
+		traces:     map[string]traceMeta{},
 		shards:     make([]chan *Job, cfg.Shards),
 
 		queueDepth: cfg.Metrics.Gauge("serve_queue_depth",
@@ -222,8 +237,18 @@ func (s *Server) recover() {
 	}
 	warmed := 0
 	for _, c := range rec.Completed {
+		if c.TraceDigest != "" {
+			// Replayed trace artifacts become reusable: a cache-hit
+			// submission asking for the same cadence gets the stored trace,
+			// and TraceByDigest serves it without a job.
+			s.mu.Lock()
+			s.traces[c.Digest] = traceMeta{
+				digest: c.TraceDigest, probeEvery: c.ProbeEvery, bytes: c.TraceBytes,
+			}
+			s.mu.Unlock()
+		}
 		if s.cfg.Cache == nil {
-			break // ResultByDigest still serves these straight from disk
+			continue // ResultByDigest still serves these straight from disk
 		}
 		if body, err := s.cfg.Store.ReadResult(c.Digest); err == nil {
 			s.cfg.Cache.Put(c.Digest, body)
@@ -266,6 +291,27 @@ type SubmitOptions struct {
 	// deduplication. Orthogonal to content addressing: two different keys
 	// with the same spec are two submissions (the second may hit the cache).
 	IdempotencyKey string
+	// Trace makes the shard capture a schema-v2 flight-recorder trace for
+	// the job, retrievable via Server.JobTrace once the job finishes done.
+	// Trace options are not part of the spec digest: the result stream is
+	// identical either way, and the trace body itself is deterministic (its
+	// one wall-clock field is stripped), so a traced and an untraced run of
+	// the same spec share a digest and a cache entry.
+	Trace bool
+	// ProbeEvery samples a deep PHY introspection probe on every Nth
+	// exchange of a traced job (cos.WithProbe); 0 captures events only.
+	// Setting it without Trace, or negative, fails admission with
+	// ErrInvalidTraceOptions.
+	ProbeEvery int
+}
+
+// traceMeta is the server's record of a finished trace artifact for one
+// spec digest: the trace's own content address, the probe cadence it was
+// captured with, and its body length.
+type traceMeta struct {
+	digest     string
+	probeEvery int
+	bytes      int
 }
 
 // Submit validates spec, admits a job, and returns it. It fails fast with
@@ -291,6 +337,14 @@ func (s *Server) SubmitWith(spec Spec, opts SubmitOptions) (*Job, error) {
 		return nil, err
 	}
 	digest := norm.Digest()
+	if opts.ProbeEvery < 0 || (opts.ProbeEvery > 0 && !opts.Trace) {
+		s.rejected.With("invalid").Inc()
+		s.noteSubmit(true)
+		s.emit(EventJobRejected, "", RejectedEvent{
+			Reason: "invalid", Kind: norm.Kind, Error: ErrInvalidTraceOptions.Error(), Shard: -1,
+		})
+		return nil, ErrInvalidTraceOptions
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -308,9 +362,30 @@ func (s *Server) SubmitWith(spec Spec, opts SubmitOptions) (*Job, error) {
 			return prior, nil // a retry of an admission that already happened
 		}
 	}
-	if body, ok := s.lookupResultLocked(digest); ok {
+	// A traced submission can only be served from the cache when the
+	// digest's persisted trace was captured at the same probe cadence and
+	// the durable store can re-serve its body; otherwise it falls through
+	// to a real run (the result bytes are content-addressed, so re-running
+	// cannot change them — the run exists to produce the trace).
+	cacheable := true
+	var tm traceMeta
+	if opts.Trace {
+		m, ok := s.traces[digest]
+		if ok && m.probeEvery == opts.ProbeEvery && s.cfg.Store != nil {
+			tm = m
+		} else {
+			cacheable = false
+		}
+	}
+	if body, ok := s.lookupResultLocked(digest); ok && cacheable {
 		s.nextID++
 		job := newCachedJob(fmt.Sprintf("job-%06d", s.nextID), norm, digest, body)
+		if opts.Trace {
+			job.traced = true
+			job.probeEvery = opts.ProbeEvery
+			job.traceDigest = tm.digest
+			job.traceBytes = tm.bytes
+		}
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
 		s.byDigest[digest] = job
@@ -328,13 +403,15 @@ func (s *Server) SubmitWith(spec Spec, opts SubmitOptions) (*Job, error) {
 	}
 	s.nextID++
 	job := &Job{
-		id:        fmt.Sprintf("job-%06d", s.nextID),
-		spec:      norm,
-		digest:    digest,
-		buf:       newBuffer(),
-		state:     StateQueued,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
+		id:         fmt.Sprintf("job-%06d", s.nextID),
+		spec:       norm,
+		digest:     digest,
+		traced:     opts.Trace,
+		probeEvery: opts.ProbeEvery,
+		buf:        newBuffer(),
+		state:      StateQueued,
+		submitted:  time.Now(),
+		done:       make(chan struct{}),
 	}
 	shardIdx := int(s.nextSh % uint64(len(s.shards)))
 	shard := s.shards[shardIdx]
@@ -422,12 +499,19 @@ func (s *Server) persistTerminal(j *Job, st State) {
 		if s.cfg.Cache != nil {
 			s.cfg.Cache.Put(j.digest, body)
 		}
+		var tr *store.TraceArtifact
+		if td, tb := j.traceInfo(); td != "" && tb != nil {
+			tr = &store.TraceArtifact{Digest: td, ProbeEvery: j.probeEvery, Body: tb}
+			s.mu.Lock()
+			s.traces[j.digest] = traceMeta{digest: td, probeEvery: j.probeEvery, bytes: len(tb)}
+			s.mu.Unlock()
+		}
 		if s.cfg.Store != nil {
-			_ = s.cfg.Store.LogResult(j.id, j.digest, "done", "", body)
+			_ = s.cfg.Store.LogResult(j.id, j.digest, "done", "", body, tr)
 		}
 	case StateFailed:
 		if s.cfg.Store != nil {
-			_ = s.cfg.Store.LogResult(j.id, j.digest, "failed", j.Err(), nil)
+			_ = s.cfg.Store.LogResult(j.id, j.digest, "failed", j.Err(), nil, nil)
 		}
 	}
 }
@@ -473,6 +557,54 @@ func (s *Server) ResultByDigest(digest string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lookupResultLocked(digest)
+}
+
+// JobTrace returns the finished flight-recorder trace body for a job,
+// along with the trace's own content address. It fails with
+// ErrTraceUnavailable when the job was submitted untraced, did not finish
+// done, or its trace body was persisted but is no longer readable.
+// Callers wanting the trace of a still-running job wait on Done() first.
+func (s *Server) JobTrace(j *Job) (body []byte, digest string, err error) {
+	if !j.traced || j.State() != StateDone {
+		return nil, "", ErrTraceUnavailable
+	}
+	digest, body = j.traceInfo()
+	if digest == "" {
+		return nil, "", ErrTraceUnavailable
+	}
+	if body != nil {
+		return body, digest, nil
+	}
+	// Cache-hit and recovered jobs carry only the digest; the body lives
+	// in the durable store.
+	if s.cfg.Store != nil {
+		if b, rerr := s.cfg.Store.ReadTrace(digest); rerr == nil {
+			return b, digest, nil
+		}
+	}
+	return nil, "", ErrTraceUnavailable
+}
+
+// TraceByDigest returns the finished trace body for a spec digest without
+// resolving a job: the newest job for the digest when it holds the trace
+// in memory, the durable store otherwise. It reports ErrTraceUnavailable
+// when no finished trace exists for the digest.
+func (s *Server) TraceByDigest(specDigest string) (body []byte, digest string, err error) {
+	s.mu.Lock()
+	j := s.byDigest[specDigest]
+	tm, ok := s.traces[specDigest]
+	s.mu.Unlock()
+	if j != nil {
+		if b, d, jerr := s.JobTrace(j); jerr == nil {
+			return b, d, nil
+		}
+	}
+	if ok && s.cfg.Store != nil {
+		if b, rerr := s.cfg.Store.ReadTrace(tm.digest); rerr == nil {
+			return b, tm.digest, nil
+		}
+	}
+	return nil, "", ErrTraceUnavailable
 }
 
 // Jobs snapshots every known job's status in submission order.
@@ -600,9 +732,20 @@ func (s *Server) runJob(j *Job) {
 
 	// agg correlates the job with the flight recorder: the run wires it
 	// into every link as an exchange observer, so the terminal event can
-	// report where the job's execution time went, stage by stage.
+	// report where the job's execution time went, stage by stage. tc, for
+	// traced submissions only, captures the full schema-v2 trace on the
+	// same hook; untraced jobs carry a nil capture and pay nothing.
 	agg := &stageAgg{}
-	err := run(ctx, j.spec, j.buf, agg)
+	var tc *traceCapture
+	if j.traced {
+		tc = newTraceCapture(j.probeEvery)
+	}
+	err := run(ctx, j.spec, j.buf, agg, tc)
+	if tc != nil && err == nil {
+		// Finalize before the finish hooks run: persistTerminal writes the
+		// artifact and emitTerminalEvent stamps its digest.
+		j.setTrace(tc.artifact())
+	}
 
 	s.inflight.Add(-1)
 	s.jobSeconds.Observe(time.Since(start).Seconds())

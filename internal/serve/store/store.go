@@ -9,6 +9,8 @@
 //
 //	<dir>/wal.log              append-only JSON lines (submit/result records)
 //	<dir>/results/<digest>     completed NDJSON bodies, one file per digest
+//	<dir>/traces/<digest>      flight-recorder trace bodies, keyed by the
+//	                           trace's own SHA-256 (not the spec digest)
 //
 // Three rules shape the design:
 //
@@ -45,6 +47,7 @@ import (
 const (
 	walName    = "wal.log"
 	resultsDir = "results"
+	tracesDir  = "traces"
 	// walVersion stamps every record; readers refuse records from a newer
 	// layout rather than misinterpreting them.
 	walVersion = 1
@@ -68,7 +71,14 @@ type record struct {
 	State  string          `json:"state,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Bytes  int             `json:"bytes,omitempty"`
-	TMS    int64           `json:"t_ms"` // wall-clock stamp, informational only
+	// Trace is the content address of the job's flight-recorder trace body
+	// (the trace's own SHA-256, stored under traces/); ProbeEvery is the
+	// PHY-probe cadence the trace was captured with. Present only on "done"
+	// records of traced jobs.
+	Trace      string `json:"trace,omitempty"`
+	TraceBytes int    `json:"trace_bytes,omitempty"`
+	ProbeEvery int    `json:"probe_every,omitempty"`
+	TMS        int64  `json:"t_ms"` // wall-clock stamp, informational only
 }
 
 // PendingJob is a submission with no terminal record: work to re-admit.
@@ -86,6 +96,15 @@ type PendingJob struct {
 type CompletedJob struct {
 	Job    string
 	Digest string
+	// TraceDigest is the content address of the job's flight-recorder trace
+	// body, when one was captured AND its body file is still readable; ""
+	// otherwise (untraced job, hostile digest in the record, or a trace body
+	// deleted out from under the store — all demote to "trace unavailable"
+	// without failing recovery). ProbeEvery echoes the capture cadence.
+	TraceDigest string
+	ProbeEvery  int
+	// TraceBytes is the trace body's size on disk (0 when unavailable).
+	TraceBytes int
 }
 
 // Recovery is what replaying the WAL found.
@@ -119,8 +138,10 @@ type Store struct {
 // Open creates dir (and its results/ subdirectory) if needed, replays the
 // WAL, truncates any torn tail, and opens the log for appending.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, resultsDir), 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	for _, sub := range []string{resultsDir, tracesDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
 	}
 	s := &Store{
 		dir: dir,
@@ -157,10 +178,12 @@ func (s *Store) replay() error {
 	}
 
 	type digestState struct {
-		state string // "pending", "done", "failed"
-		job   string
-		spec  json.RawMessage
-		order int // first-submit position, to keep re-admission in order
+		state      string // "pending", "done", "failed"
+		job        string
+		spec       json.RawMessage
+		trace      string // trace artifact digest from the "done" record
+		probeEvery int
+		order      int // first-submit position, to keep re-admission in order
 	}
 	states := map[string]*digestState{}
 	order := 0
@@ -203,6 +226,11 @@ func (s *Store) replay() error {
 			if ds.state != "done" { // done is sticky
 				if r.State == "done" {
 					ds.state = "done"
+					// Hostile or malformed trace digests never become file
+					// lookups: the job simply replays as untraced.
+					if validDigest(r.Trace) {
+						ds.trace, ds.probeEvery = r.Trace, r.ProbeEvery
+					}
 				} else {
 					ds.state = "failed"
 					ds.job = r.Job // pin the failed job for the resubmit rule
@@ -246,7 +274,16 @@ func (s *Store) replay() error {
 			// result-before-record ordering makes a missing file possible
 			// only through external deletion, which demotes to pending.
 			if _, err := os.Stat(s.resultPath(o.d)); err == nil {
-				s.rec.Completed = append(s.rec.Completed, CompletedJob{Job: ds.job, Digest: o.d})
+				cj := CompletedJob{Job: ds.job, Digest: o.d}
+				// The trace artifact is best-effort: a missing body demotes
+				// the job to "trace unavailable", never to pending.
+				if ds.trace != "" {
+					if fi, err := os.Stat(s.tracePath(ds.trace)); err == nil {
+						cj.TraceDigest, cj.ProbeEvery = ds.trace, ds.probeEvery
+						cj.TraceBytes = int(fi.Size())
+					}
+				}
+				s.rec.Completed = append(s.rec.Completed, cj)
 			} else if len(ds.spec) > 0 {
 				s.rec.Pending = append(s.rec.Pending, PendingJob{Job: ds.job, Digest: o.d, Spec: ds.spec})
 			}
@@ -292,42 +329,67 @@ func (s *Store) LogSubmit(jobID, digest string, canonicalSpec []byte) error {
 	})
 }
 
+// TraceArtifact is a finished flight-recorder trace to persist alongside
+// a "done" result: the NDJSON body, its own SHA-256 content address, and
+// the probe cadence it was captured with.
+type TraceArtifact struct {
+	Digest     string
+	ProbeEvery int
+	Body       []byte
+}
+
 // LogResult records a terminal state. For state "done", body is first
 // written to the content-addressed result file (atomically, temp +
-// rename) so the WAL record never points at missing bytes; for "failed",
-// body is ignored and only the settled marker is logged. Cancelled jobs
-// should not be logged at all — absence is what makes them re-run.
-func (s *Store) LogResult(jobID, digest, state, errMsg string, body []byte) error {
+// rename) so the WAL record never points at missing bytes; a non-nil
+// trace artifact is written the same way (trace-before-record) and its
+// digest stamped into the record. For "failed", body and trace are
+// ignored and only the settled marker is logged. Cancelled jobs should
+// not be logged at all — absence is what makes them re-run.
+func (s *Store) LogResult(jobID, digest, state, errMsg string, body []byte, tr *TraceArtifact) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return errors.New("store: closed")
 	}
+	rec := record{
+		Op: opResult, Job: jobID, Digest: digest, State: state, Error: errMsg, Bytes: len(body),
+	}
 	if state == "done" {
-		if err := s.writeResultLocked(digest, body); err != nil {
+		if err := s.writeBlobLocked(resultsDir, digest, body); err != nil {
 			return err
 		}
+		if tr != nil {
+			if err := s.writeBlobLocked(tracesDir, tr.Digest, tr.Body); err != nil {
+				return err
+			}
+			rec.Trace = tr.Digest
+			rec.TraceBytes = len(tr.Body)
+			rec.ProbeEvery = tr.ProbeEvery
+		}
 	}
-	return s.appendLocked(record{
-		Op: opResult, Job: jobID, Digest: digest, State: state, Error: errMsg, Bytes: len(body),
-	})
+	return s.appendLocked(rec)
 }
 
 func (s *Store) resultPath(digest string) string {
 	return filepath.Join(s.dir, resultsDir, digest)
 }
 
-// writeResultLocked writes the body file atomically. Re-writing an
-// existing digest is a no-op: the bytes are content-addressed.
-func (s *Store) writeResultLocked(digest string, body []byte) error {
+func (s *Store) tracePath(digest string) string {
+	return filepath.Join(s.dir, tracesDir, digest)
+}
+
+// writeBlobLocked writes a content-addressed body file atomically under
+// the given subdirectory. Re-writing an existing digest is a no-op: the
+// bytes are content-addressed.
+func (s *Store) writeBlobLocked(sub, digest string, body []byte) error {
 	if !validDigest(digest) {
 		return fmt.Errorf("store: invalid digest %q", digest)
 	}
-	path := s.resultPath(digest)
+	path := filepath.Join(s.dir, sub, digest)
 	if _, err := os.Stat(path); err == nil {
 		return nil
 	}
-	tmp, err := os.CreateTemp(filepath.Join(s.dir, resultsDir), "tmp-*")
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, sub), "tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -359,6 +421,19 @@ func (s *Store) ReadResult(digest string) ([]byte, error) {
 		return nil, fmt.Errorf("store: invalid digest %q", digest)
 	}
 	b, err := os.ReadFile(s.resultPath(digest))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return b, nil
+}
+
+// ReadTrace returns the stored flight-recorder trace body addressed by
+// the trace's own digest.
+func (s *Store) ReadTrace(digest string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("store: invalid digest %q", digest)
+	}
+	b, err := os.ReadFile(s.tracePath(digest))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}

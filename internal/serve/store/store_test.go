@@ -41,13 +41,13 @@ func TestStoreReplayRoundTrip(t *testing.T) {
 	if err := s.LogSubmit("job-000002", digB, spec("stream")); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.LogResult("job-000001", digA, "done", "", body); err != nil {
+	if err := s.LogResult("job-000001", digA, "done", "", body, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.LogSubmit("job-000003", digC, spec("wlan")); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.LogResult("job-000003", digC, "failed", "boom", nil); err != nil {
+	if err := s.LogResult("job-000003", digC, "failed", "boom", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -84,11 +84,11 @@ func TestStoreReplayDigestFolding(t *testing.T) {
 	// Two submissions of the same digest, one completes: settled.
 	s.LogSubmit("job-000001", digA, spec("link"))
 	s.LogSubmit("job-000002", digA, spec("link"))
-	s.LogResult("job-000001", digA, "done", "", []byte("r\n"))
+	s.LogResult("job-000001", digA, "done", "", []byte("r\n"), nil)
 	s.LogSubmit("job-000003", digA, spec("link")) // after done: still done
 	// Failed then resubmitted: pending again.
 	s.LogSubmit("job-000004", digB, spec("stream"))
-	s.LogResult("job-000004", digB, "failed", "x", nil)
+	s.LogResult("job-000004", digB, "failed", "x", nil, nil)
 	s.LogSubmit("job-000005", digB, spec("stream"))
 	// Duplicate pendings fold to one.
 	s.LogSubmit("job-000006", digC, spec("wlan"))
@@ -118,7 +118,7 @@ func TestStoreTruncatedWALTail(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir)
 	s.LogSubmit("job-000001", digA, spec("link"))
-	s.LogResult("job-000001", digA, "done", "", []byte("r\n"))
+	s.LogResult("job-000001", digA, "done", "", []byte("r\n"), nil)
 	s.LogSubmit("job-000002", digB, spec("stream"))
 	s.Close()
 
@@ -170,9 +170,9 @@ func TestStoreTruncatedWALTail(t *testing.T) {
 func TestStoreOutOfOrderResultBeforeSubmit(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir)
-	s.LogResult("job-000001", digA, "failed", "x", nil)
+	s.LogResult("job-000001", digA, "failed", "x", nil, nil)
 	s.LogSubmit("job-000001", digA, spec("link")) // same job, out of order
-	s.LogResult("job-000002", digB, "done", "", []byte("r\n"))
+	s.LogResult("job-000002", digB, "done", "", []byte("r\n"), nil)
 	s.LogSubmit("job-000002", digB, spec("stream"))
 	s.Close()
 
@@ -220,7 +220,7 @@ func TestStoreMissingResultFileDemotesToPending(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir)
 	s.LogSubmit("job-000001", digA, spec("link"))
-	s.LogResult("job-000001", digA, "done", "", []byte("r\n"))
+	s.LogResult("job-000001", digA, "done", "", []byte("r\n"), nil)
 	s.Close()
 	if err := os.Remove(filepath.Join(dir, resultsDir, digA)); err != nil {
 		t.Fatal(err)
@@ -237,12 +237,57 @@ func TestStoreMissingResultFileDemotesToPending(t *testing.T) {
 func TestStoreRejectsHostileDigests(t *testing.T) {
 	s := open(t, t.TempDir())
 	for _, bad := range []string{"", "../evil", "ABCDEF", "a/b"} {
-		if err := s.LogResult("job-000001", bad, "done", "", []byte("x")); err == nil {
+		if err := s.LogResult("job-000001", bad, "done", "", []byte("x"), nil); err == nil {
 			t.Errorf("LogResult accepted digest %q", bad)
 		}
 		if _, err := s.ReadResult(bad); err == nil {
 			t.Errorf("ReadResult accepted digest %q", bad)
 		}
+	}
+}
+
+// TestStoreHostileTraceDigestReplaysUntraced covers a tampered WAL: a
+// "done" record whose trace field carries path metacharacters must never
+// become a filesystem lookup — the job replays completed but untraced,
+// and ReadTrace refuses the digest outright.
+func TestStoreHostileTraceDigestReplaysUntraced(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	s.LogSubmit("job-000001", digA, spec("link"))
+	s.LogResult("job-000001", digA, "done", "", []byte("r\n"), nil)
+	s.Close()
+
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice a hostile trace address into the terminal record.
+	tampered := bytes.Replace(data, []byte(`"state":"done"`),
+		[]byte(`"state":"done","trace":"../../etc/passwd","trace_bytes":9,"probe_every":4`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found in WAL")
+	}
+	if err := os.WriteFile(wal, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := open(t, dir)
+	rec := re.Recovery()
+	if len(rec.Completed) != 1 || rec.Completed[0].Digest != digA {
+		t.Fatalf("Completed = %+v, want the done digest to survive", rec.Completed)
+	}
+	if cj := rec.Completed[0]; cj.TraceDigest != "" || cj.ProbeEvery != 0 || cj.TraceBytes != 0 {
+		t.Fatalf("hostile trace digest leaked into recovery: %+v", cj)
+	}
+	for _, bad := range []string{"", "../evil", "ABCDEF", "a/b", "../../etc/passwd"} {
+		if _, err := re.ReadTrace(bad); err == nil {
+			t.Errorf("ReadTrace accepted digest %q", bad)
+		}
+	}
+	if err := re.LogResult("job-000002", digB, "done", "", []byte("x\n"),
+		&TraceArtifact{Digest: "../evil", Body: []byte("t\n")}); err == nil {
+		t.Error("LogResult accepted a hostile trace artifact digest")
 	}
 }
 

@@ -227,6 +227,18 @@ func (t *Writer) Count() int { return t.n }
 // Flush drains buffered output; call before closing the underlying file.
 func (t *Writer) Flush() error { return t.w.Flush() }
 
+// FormatError reports a record in a trace stream that failed to parse.
+// Event is the index of the offending record; 0 means the stream broke at
+// the header position (the file is not a trace at all), which tools treat
+// as a usage error rather than a data error.
+type FormatError struct {
+	Event int
+	Err   error
+}
+
+func (e *FormatError) Error() string { return fmt.Sprintf("trace: event %d: %v", e.Event, e.Err) }
+func (e *FormatError) Unwrap() error { return e.Err }
+
 // Read loads every event from a JSON-lines stream. A leading schema
 // header is consumed when present (its absence means a version-0 file);
 // unknown fields on events are ignored, so traces from newer builds with
@@ -237,7 +249,8 @@ func Read(r io.Reader) ([]Event, error) {
 }
 
 // ReadVersioned is Read, also reporting the file's schema version (0 for
-// headerless pre-versioning files).
+// headerless pre-versioning files). Parse failures are returned as
+// *FormatError.
 func ReadVersioned(r io.Reader) ([]Event, int, error) {
 	var out []Event
 	version := 0
@@ -248,7 +261,7 @@ func ReadVersioned(r io.Reader) ([]Event, int, error) {
 		if err := dec.Decode(&raw); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, version, fmt.Errorf("trace: event %d: %w", len(out), err)
+			return nil, version, &FormatError{Event: len(out), Err: err}
 		}
 		if first {
 			first = false
@@ -260,7 +273,7 @@ func ReadVersioned(r io.Reader) ([]Event, int, error) {
 		}
 		var e Event
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, version, fmt.Errorf("trace: event %d: %w", len(out), err)
+			return nil, version, &FormatError{Event: len(out), Err: err}
 		}
 		out = append(out, e)
 	}
