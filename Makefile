@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events bench-cache bench-jobtrace figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events bench-cache bench-jobtrace bench-scenario figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -31,7 +31,10 @@ race:
 # the durable store's WAL replay + cache recovery paths under the race
 # detector (WAL appends race admission and completion by design), and the
 # flight-recorder trace paths (capture determinism, cache reuse, restart
-# durability, HTTP round trip) under the race detector.
+# durability, HTTP round trip) under the race detector, and the scenario
+# registry's serve path (by-name jobs end-to-end, typed rejection,
+# /scenarios listing) plus a reduced-scale scenario head-to-head bench,
+# both under the race detector.
 ci: build vet
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -46,6 +49,8 @@ ci: build vet
 	$(GO) test -race -run 'TestSlowSubscriberNeverBlocksProducer|TestJournalFanoutConcurrency' ./internal/obs/event/
 	$(GO) test -race -run 'TestEventsSlowConsumerGap|TestEventsFollowStreamsLive|TestEventsResumeAfterEviction|TestJobLifecycleEvents' ./internal/serve/ ./internal/serve/http/
 	$(GO) test -race -run 'TestTracedJobsByteIdentical|TestTraceCacheReuse|TestTraceSurvivesRestart|TestTraceRoundTrip' ./internal/serve/ ./internal/serve/http/
+	$(GO) test -race -run 'TestScenarioJobsEndToEnd|TestSubmitUnknownScenario|TestScenariosEndpoint' ./internal/serve/http/
+	$(GO) test -race -run TestWriteBenchScenarioReport -bench-scenario-out /tmp/BENCH_scenario.ci.json -bench-scenario-packets 40 .
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -99,6 +104,14 @@ bench-cache:
 bench-jobtrace:
 	$(GO) test -v -timeout 20m ./internal/serve/ -run TestWriteBenchJobtraceReport -bench-jobtrace-out $(CURDIR)/BENCH_jobtrace.json
 
+# Regenerate BENCH_scenario.json: drives the same fixed-seed send schedule
+# through the default CoS-silence/indoor-TDL world, the OFDM-padding
+# embedding on the same channel, and the hybrid BSC/PEC outdoor channel
+# under CoS silence (preset + harsher operating point), recording packet
+# delivery, control accuracy, silence spend, and throughput per world.
+bench-scenario:
+	$(GO) test -run TestWriteBenchScenarioReport -bench-scenario-out $(CURDIR)/BENCH_scenario.json -v .
+
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:
 	$(GO) run ./cmd/cos-figures -fig all -scale 1 -out results/
@@ -109,6 +122,7 @@ figures-quick:
 fuzz:
 	$(GO) test ./internal/cos/ -run xxx -fuzz FuzzParseControl -fuzztime 30s
 	$(GO) test ./internal/cos/ -run xxx -fuzz FuzzIntervalRoundTrip -fuzztime 30s
+	$(GO) test ./internal/scenario/ -run xxx -fuzz FuzzParseRef -fuzztime 30s
 
 cover:
 	$(GO) test -cover ./...

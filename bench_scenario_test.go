@@ -1,0 +1,173 @@
+package cos_test
+
+// Head-to-head scenario benchmark: the paper's CoS silence embedding
+// against the WiPad-style OFDM-padding embedding on the same indoor
+// channel, and the indoor TDL channel against the hybrid BSC/PEC outdoor
+// channel under the same embedding. `make bench-scenario` writes the
+// full-scale report to BENCH_scenario.json; `make ci` replays it at a
+// reduced packet count under the race detector.
+
+import (
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cos"
+)
+
+// benchScenarioOut enables TestWriteBenchScenarioReport; `make
+// bench-scenario` points it at BENCH_scenario.json.
+var benchScenarioOut = flag.String("bench-scenario-out", "", "write the scenario head-to-head report to this JSON file")
+
+// benchScenarioPackets is the per-world packet count; `make ci` shrinks it
+// so the race-detector pass stays fast.
+var benchScenarioPackets = flag.Int("bench-scenario-packets", 400, "packets per scenario in the head-to-head report")
+
+// scenarioBenchReport is one world's measured row.
+type scenarioBenchReport struct {
+	Scenario       string  `json:"scenario"`
+	Channel        string  `json:"channel"`
+	Embedding      string  `json:"embedding"`
+	SNRdB          float64 `json:"snr_db"`
+	Packets        int     `json:"packets"`
+	DataOKRate     float64 `json:"data_ok_rate"`
+	ControlOKRate  float64 `json:"control_ok_rate"`
+	AvgControlBits float64 `json:"avg_control_bits"`
+	AvgSilences    float64 `json:"avg_silences"`
+	Seconds        float64 `json:"seconds"`
+	PacketsPerSec  float64 `json:"packets_per_sec"`
+}
+
+// TestWriteBenchScenarioReport regenerates BENCH_scenario.json (via
+// `make bench-scenario`): it drives the same fixed-seed send schedule
+// through four worlds — the default CoS-silence/indoor-TDL pairing, the
+// OFDM-padding embedding on the same indoor channel, and the CoS-silence
+// embedding over the hybrid BSC/PEC outdoor channel at two erasure
+// settings — and records per-world packet delivery, control accuracy,
+// silence budget spend, and throughput. It skips itself unless
+// -bench-scenario-out is set so `go test ./...` stays fast.
+func TestWriteBenchScenarioReport(t *testing.T) {
+	if *benchScenarioOut == "" {
+		t.Skip("set -bench-scenario-out to write the report")
+	}
+	packets := *benchScenarioPackets
+	const ctrlBits, k = 16, 4
+	const snr = 22.0
+
+	worlds := []struct {
+		name      string
+		channel   string
+		embedding string
+		opts      []cos.Option
+	}{
+		{"default", "indoor-tdl", "cos-silence",
+			[]cos.Option{cos.WithSeed(41), cos.WithSNR(snr)}},
+		{"ofdm-padding", "indoor-tdl", "ofdm-padding",
+			[]cos.Option{cos.WithScenario("ofdm-padding"), cos.WithSeed(41), cos.WithSNR(snr)}},
+		{"hybrid-bscpec", "hybrid-bscpec", "cos-silence",
+			[]cos.Option{cos.WithScenario("hybrid-bscpec"), cos.WithSeed(41), cos.WithSNR(snr)}},
+		{"hybrid-bscpec:0.3,0.1,25", "hybrid-bscpec", "cos-silence",
+			[]cos.Option{cos.WithScenario("hybrid-bscpec", 0.3, 0.1, 25), cos.WithSeed(41), cos.WithSNR(snr)}},
+	}
+
+	var rows []scenarioBenchReport
+	for _, w := range worlds {
+		link, err := cos.NewLink(w.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		rng := rand.New(rand.NewSource(977))
+		var dataOK, ctrlOK, ctrlSent, silences int
+		start := time.Now()
+		for i := 0; i < packets; i++ {
+			data := make([]byte, 256)
+			rng.Read(data)
+			maxBits, err := link.MaxControlBits(len(data))
+			if err != nil {
+				t.Fatalf("%s: %v", w.name, err)
+			}
+			n := ctrlBits
+			if n > maxBits {
+				n = maxBits / k * k
+			}
+			ctrl := make([]byte, n)
+			for j := range ctrl {
+				ctrl[j] = byte(rng.Intn(2))
+			}
+			ex, err := link.Send(data, ctrl)
+			if err != nil {
+				t.Fatalf("%s packet %d: %v", w.name, i, err)
+			}
+			if ex.DataOK {
+				dataOK++
+			}
+			if ex.ControlOK {
+				ctrlOK++
+			}
+			ctrlSent += len(ex.ControlSent)
+			silences += ex.SilencesInserted
+		}
+		sec := time.Since(start).Seconds()
+		rows = append(rows, scenarioBenchReport{
+			Scenario:       w.name,
+			Channel:        w.channel,
+			Embedding:      w.embedding,
+			SNRdB:          snr,
+			Packets:        packets,
+			DataOKRate:     float64(dataOK) / float64(packets),
+			ControlOKRate:  float64(ctrlOK) / float64(packets),
+			AvgControlBits: float64(ctrlSent) / float64(packets),
+			AvgSilences:    float64(silences) / float64(packets),
+			Seconds:        sec,
+			PacketsPerSec:  float64(packets) / sec,
+		})
+	}
+
+	// Sanity floors rather than cross-world races: every world must move
+	// packets, the padding embedding must spend zero silences, and the
+	// silence embeddings must spend a nonzero budget.
+	for _, r := range rows {
+		if r.DataOKRate == 0 {
+			t.Errorf("%s delivered no packets", r.Scenario)
+		}
+		if r.Embedding == "ofdm-padding" && r.AvgSilences != 0 {
+			t.Errorf("%s inserted silences (%v/packet); padding must not", r.Scenario, r.AvgSilences)
+		}
+		if r.Embedding == "cos-silence" && r.AvgSilences == 0 {
+			t.Errorf("%s inserted no silences; the CoS embedding is not engaging", r.Scenario)
+		}
+	}
+
+	report := struct {
+		GeneratedBy string                `json:"generated_by"`
+		GoMaxProcs  int                   `json:"gomaxprocs"`
+		Methodology string                `json:"methodology"`
+		Scenarios   []scenarioBenchReport `json:"scenarios"`
+	}{
+		GeneratedBy: "make bench-scenario",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Methodology: "Each world runs the same fixed-seed 256-byte send schedule " +
+			"(16 control bits/packet, k=4) through a fresh Link at 22 dB SNR. " +
+			"data_ok_rate is the frame-check pass rate, control_ok_rate the " +
+			"fraction of packets whose extracted control bits prefix-match the " +
+			"sent bits, avg_silences the silence-symbol budget actually spent. " +
+			"The embedding axis compares cos-silence vs ofdm-padding on the " +
+			"indoor TDL channel; the channel axis compares indoor TDL vs the " +
+			"hybrid BSC/PEC outdoor channel (Chen & Leith) under cos-silence " +
+			"at the preset and a harsher q=0.3,p=0.1 operating point. Timings " +
+			"are wall clock on a single goroutine.",
+		Scenarios: rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchScenarioOut, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d packets/world)", *benchScenarioOut, packets)
+}

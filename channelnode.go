@@ -3,26 +3,27 @@ package cos
 import (
 	"math/rand"
 
-	"cos/internal/channel"
-	"cos/internal/phy"
+	"cos/internal/ofdm"
+	"cos/internal/scenario"
 )
 
-// Channel is the propagation node between a Transmitter and a Receiver: a
-// tapped-delay-line indoor channel plus AWGN at the configured SNR and the
-// optional pulse interferer. It owns the link's noise RNG, so forward
-// (Transmit) and reverse (Reverse, for explicit feedback) traffic draw
-// from one stream exactly as a reciprocal channel should. Received sample
-// buffers are scratch, valid until the next call of the same method. A
-// Channel is not safe for concurrent use.
+// Channel is the propagation node between a Transmitter and a Receiver: the
+// configured scenario's channel model (the indoor tapped-delay line by
+// default) plus AWGN at the configured SNR and the scenario's interferer.
+// It owns the link's noise RNG, so forward (Transmit) and reverse (Reverse,
+// for explicit feedback) traffic draw from one stream exactly as a
+// reciprocal channel should. Received sample buffers are scratch, valid
+// until the next call of the same method. A Channel is not safe for
+// concurrent use.
 type Channel struct {
 	cfg     config
-	tdl     *channel.TDL
+	model   scenario.ChannelModel
+	intf    scenario.Interferer
 	rng     *rand.Rand
 	metrics *linkMetrics
 
-	taps []complex128
-	fwd  []complex128
-	rev  []complex128
+	fwd []complex128
+	rev []complex128
 }
 
 // NewChannel builds a standalone channel node from link options. Inside a
@@ -37,43 +38,59 @@ func NewChannel(opts ...Option) (*Channel, error) {
 }
 
 func newChannelNode(cfg config, m *linkMetrics) (*Channel, error) {
-	tdl, err := cfg.position.NewVariant(cfg.mobile, cfg.variant)
+	model, err := cfg.scenario.NewChannel(scenario.Geometry{
+		Position: cfg.position,
+		Mobile:   cfg.mobile,
+		Variant:  cfg.variant,
+	})
 	if err != nil {
 		return nil, err
 	}
+	intf, err := cfg.scenario.NewInterferer()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.interferer != nil {
+		// WithInterference overrides the scenario's interferer.
+		intf = cfg.interferer
+	}
 	return &Channel{
 		cfg:     cfg,
-		tdl:     tdl,
+		model:   model,
+		intf:    intf,
 		rng:     rand.New(rand.NewSource(cfg.seed)),
 		metrics: m,
 	}, nil
 }
 
+// FrequencyResponse returns the channel's per-subcarrier response at
+// simulation time now, and whether the model exposes one (flat and TDL
+// models do; abstract channels may not).
+func (c *Channel) FrequencyResponse(now float64) ([ofdm.NumSubcarriers]complex128, bool) {
+	fr, ok := c.model.(scenario.FrequencyResponder)
+	if !ok {
+		return [ofdm.NumSubcarriers]complex128{}, false
+	}
+	return fr.FrequencyResponse(now), true
+}
+
 // Transmit propagates a frame's samples through the channel at simulation
-// time now: TDL convolution, AWGN scaled to the configured SNR, and the
-// pulse interferer if one is configured. It returns the received samples
-// (scratch, valid until the next Transmit) and the channel-sounder
-// (ground truth) SNR in dB.
+// time now: the scenario's channel model (convolution plus AWGN scaled to
+// the configured SNR) and its interferer if one is configured. It returns
+// the received samples (scratch, valid until the next Transmit) and the
+// channel-sounder (ground truth) SNR in dB.
 func (c *Channel) Transmit(samples []complex128, now float64) ([]complex128, float64, error) {
 	sp := c.metrics.span(StageChannel)
-	// Taps are evaluated once and reused for the frequency response and the
-	// convolution; tap evaluation draws no randomness, so this matches
-	// separate FrequencyResponse/Apply calls bit for bit.
-	c.taps = c.tdl.TapsInto(c.taps, now)
-	h := channel.FrequencyResponseFrom(c.taps)
-	noiseVar, err := phy.NoiseVarForActualSNR(h, c.cfg.snrDB)
+	var actual float64
+	var err error
+	c.fwd, actual, err = c.model.Propagate(c.fwd, samples, now, c.cfg.snrDB, c.rng)
 	if err != nil {
 		return nil, 0, err
 	}
-	c.fwd = channel.ApplyTo(c.fwd, samples, c.taps, noiseVar, c.rng)
-	if c.cfg.interferer != nil {
-		if _, err := c.cfg.interferer.Apply(c.fwd, c.rng); err != nil {
+	if c.intf != nil {
+		if _, err := c.intf.Apply(c.fwd, c.rng); err != nil {
 			return nil, 0, err
 		}
-	}
-	actual, err := phy.ActualSNRdB(h, noiseVar)
-	if err != nil {
-		return nil, 0, err
 	}
 	sp.End()
 	return c.fwd, actual, nil
@@ -84,12 +101,10 @@ func (c *Channel) Transmit(samples []complex128, now float64) ([]complex128, flo
 // ACK-sized and ride the reverse direction. The returned samples are
 // scratch, valid until the next Reverse.
 func (c *Channel) Reverse(frame []complex128, now float64) ([]complex128, error) {
-	c.taps = c.tdl.TapsInto(c.taps, now)
-	h := channel.FrequencyResponseFrom(c.taps)
-	noiseVar, err := phy.NoiseVarForActualSNR(h, c.cfg.snrDB)
+	var err error
+	c.rev, _, err = c.model.Propagate(c.rev, frame, now, c.cfg.snrDB, c.rng)
 	if err != nil {
 		return nil, err
 	}
-	c.rev = channel.ApplyTo(c.rev, frame, c.taps, noiseVar, c.rng)
 	return c.rev, nil
 }

@@ -8,6 +8,7 @@
 //	cos-figures -fig fig9 [-scale 0.2]
 //	cos-figures -fig all -scale 0.1 -out results/
 //	cos-figures -fig all -workers 8 -metrics-addr :8080 -stats 10s
+//	cos-figures -fig fig3 -scenario hybrid-bscpec
 //
 // Scale 1 (default) is the publication-quality run; smaller scales shrink
 // packet counts proportionally for quick looks. Figures decompose into
@@ -26,6 +27,7 @@ import (
 
 	"cos/internal/cli"
 	"cos/internal/experiments"
+	"cos/internal/scenario"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 		out     = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
 		plot    = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		scen    = flag.String("scenario", "", "scenario preset reference, name[:p1,p2,...] (default: the paper's indoor world)")
 	)
 	obsAddr, obsStats := cli.ObsFlags(flag.CommandLine)
 	flag.Parse()
@@ -59,7 +62,16 @@ func main() {
 	// and the run exits mid-sweep instead of finishing the figure.
 	ctx := app.Context()
 
-	opts := experiments.RunOptions{Scale: *scale, Workers: *workers, Seed: *seed}
+	if *scen != "" {
+		// Fail fast on an unknown or malformed scenario instead of deep
+		// inside the first point-task.
+		if _, err := scenario.FromRef(*scen); err != nil {
+			fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	opts := experiments.RunOptions{Scale: *scale, Workers: *workers, Seed: *seed, Scenario: *scen}
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = experiments.IDs()

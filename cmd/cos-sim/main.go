@@ -8,6 +8,9 @@
 //	cos-sim -snr 12 -mobile -interference
 //	cos-sim -runs 8 -workers 4 -packets 500
 //	cos-sim -packets 5000 -metrics-addr :8080 -stats 2s
+//	cos-sim -list-scenarios
+//	cos-sim -scenario hybrid-bscpec -snr 12
+//	cos-sim -scenario pulse:40,160,0.004 -packets 200
 //
 // -runs N repeats the session over N independent channel realizations
 // (run r uses channel variant r and a seed derived from -seed) and reports
@@ -28,6 +31,7 @@ import (
 	"cos"
 	"cos/internal/cli"
 	"cos/internal/pool"
+	"cos/internal/scenario"
 	"cos/internal/trace"
 )
 
@@ -84,9 +88,25 @@ func main() {
 		verbose  = flag.Bool("v", false, "print each packet (single run only)")
 		traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file (single run only)")
 		probeN   = flag.Int("probe", 0, "record a PHY introspection probe every N packets into the trace (0 = off; needs -trace)")
+		scenRef  = flag.String("scenario", "", "scenario preset reference, name[:p1,p2,...] (see -list-scenarios)")
+		listScen = flag.Bool("list-scenarios", false, "list the registered scenario presets and exit")
 	)
 	obsAddr, obsStats := cli.ObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *listScen {
+		fmt.Print(scenario.FormatList())
+		return
+	}
+	var scen scenario.Ref
+	if *scenRef != "" {
+		ref, err := scenario.ParseRef(*scenRef)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+			os.Exit(2)
+		}
+		scen = ref
+	}
 
 	app, err := cli.Boot(*obsAddr, *obsStats, os.Stderr)
 	if err != nil {
@@ -164,6 +184,9 @@ func main() {
 			linkSeed = pool.TaskSeed(*seed, run)
 		}
 		opts := []cos.Option{cos.WithPosition(pos), cos.WithSNR(*snr), cos.WithSeed(linkSeed)}
+		if *scenRef != "" {
+			opts = append(opts, cos.WithScenario(scen.Name, scen.Params...))
+		}
 		if run > 0 {
 			opts = append(opts, cos.WithChannelVariant(int64(run)))
 		}

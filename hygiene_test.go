@@ -32,6 +32,12 @@ func TestLibraryPackagesStayTransportFree(t *testing.T) {
 		module + "/internal/serve/cache", // content-addressed result cache stays pure
 		module + "/internal/serve/store", // durable WAL store: files only, no transport
 		module + "/internal/obs/event",   // journal is transport-free; /events streams it
+		module + "/internal/scenario",    // scenario registry: pure composition, no transport
+		module + "/internal/scenario/all",
+		module + "/internal/scenario/indoor",
+		module + "/internal/scenario/outdoor",
+		module + "/internal/scenario/padding",
+		module + "/internal/scenario/silence",
 	}
 	forbidden := func(imp string) bool {
 		return imp == "net/http" ||

@@ -24,6 +24,8 @@ type AblationConfig struct {
 	Seed int64
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *AblationConfig) setDefaults() {
@@ -48,10 +50,6 @@ func AblationEVD(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionB.NewVariant(false, 11)
-	if err != nil {
-		return nil, err
-	}
 	const snr = 15.0
 	packets := scaled(cfg.Packets, cfg.Scale)
 	budgets := []int{0, 4, 8, 16, 24, 32, 48, 64}
@@ -60,6 +58,12 @@ func AblationEVD(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	type point struct{ evd, ign float64 }
 	pts := make([]point, len(budgets))
 	err = pool.ForEach(ctx, cfg.Workers, len(budgets), cfg.Seed, func(i int, rng *rand.Rand) error {
+		// Per task: a channel model owns tap scratch, so point-tasks must
+		// not share one (the same variant is the same deterministic draw).
+		ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 11)
+		if err != nil {
+			return err
+		}
 		b := budgets[i]
 		scr := &trialScratch{}
 		ctrlSCs := fig10CtrlSCs
@@ -133,7 +137,9 @@ func AblationPlacement(ctx context.Context, cfg AblationConfig) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionA.NewVariant(false, 13)
+	// Serial ranking channel; pool tasks build their own (a channel model
+	// owns tap scratch, and the same variant is the same deterministic draw).
+	ch, err := trialChannel(cfg.Scenario, channel.PositionA, false, 13)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +149,10 @@ func AblationPlacement(ctx context.Context, cfg AblationConfig) (*Result, error)
 	nSym := mode.SymbolsForPSDU(1024)
 
 	// Rank subcarriers by gain once (genie knowledge, fixed channel).
-	h := ch.FrequencyResponse(0)
+	h, err := freqResponse(ch, 0)
+	if err != nil {
+		return nil, err
+	}
 	type sub struct {
 		idx  int
 		gain float64
@@ -187,6 +196,10 @@ func AblationPlacement(ctx context.Context, cfg AblationConfig) (*Result, error)
 
 	prrs := make([]float64, len(placements)*len(budgets))
 	err = pool.ForEach(ctx, cfg.Workers, len(prrs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		ch, err := trialChannel(cfg.Scenario, channel.PositionA, false, 13)
+		if err != nil {
+			return err
+		}
 		pl := placements[i/len(budgets)]
 		b := budgets[i%len(budgets)]
 		scr := &trialScratch{}
@@ -266,7 +279,9 @@ func AblationThreshold(ctx context.Context, cfg AblationConfig) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionB.NewVariant(false, 4)
+	// Serial prelude channel; pool tasks build their own (a channel model
+	// owns tap scratch, and the same variant is the same deterministic draw).
+	ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 4)
 	if err != nil {
 		return nil, err
 	}
@@ -295,6 +310,10 @@ func AblationThreshold(ctx context.Context, cfg AblationConfig) (*Result, error)
 			return nil // index 0 is the serial calibration prelude above
 		}
 		si := i - 1
+		ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 4)
+		if err != nil {
+			return err
+		}
 		scr := &trialScratch{}
 		actual, err := calibrateActualSNR(scr, ch, 0, mode, snrs[si], rng)
 		if err != nil {
@@ -359,10 +378,6 @@ func ControlAccuracy(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionB.NewVariant(false, 19)
-	if err != nil {
-		return nil, err
-	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 	snrs := []float64{8, 10, 12, 14, 16, 18, 20, 22}
 	nSym := mode.SymbolsForPSDU(1024)
@@ -370,6 +385,12 @@ func ControlAccuracy(ctx context.Context, cfg AblationConfig) (*Result, error) {
 	type point struct{ ctrl, data float64 }
 	pts := make([]point, len(snrs))
 	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		// Per task: a channel model owns tap scratch, so point-tasks must
+		// not share one (the same variant is the same deterministic draw).
+		ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 19)
+		if err != nil {
+			return err
+		}
 		scr := &trialScratch{}
 		actual, err := calibrateActualSNR(scr, ch, 0, mode, snrs[i], rng)
 		if err != nil {
@@ -435,10 +456,6 @@ func AblationQuantization(ctx context.Context, cfg AblationConfig) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionB.NewVariant(false, 11)
-	if err != nil {
-		return nil, err
-	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 	snrs := []float64{13, 14, 15, 16}
 	widths := []int{0, 5, 4, 3} // 0 = float
@@ -450,6 +467,12 @@ func AblationQuantization(ctx context.Context, cfg AblationConfig) (*Result, err
 
 	prrs := make([][]float64, len(snrs))
 	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		// Per task: a channel model owns tap scratch, so point-tasks must
+		// not share one (the same variant is the same deterministic draw).
+		ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 11)
+		if err != nil {
+			return err
+		}
 		scr := &trialScratch{}
 		actual, err := calibrateActualSNR(scr, ch, 0, mode, snrs[i], rng)
 		if err != nil {

@@ -23,6 +23,8 @@ type Fig10aConfig struct {
 	SNR float64
 	// Seed drives all randomness.
 	Seed int64
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig10aConfig) setDefaults() {
@@ -49,7 +51,7 @@ func Fig10aMagnitudes(ctx context.Context, cfg Fig10aConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionC.NewVariant(false, 5)
+	ch, err := trialChannel(cfg.Scenario, channel.PositionC, false, 5)
 	if err != nil {
 		return nil, err
 	}
@@ -69,12 +71,10 @@ func Fig10aMagnitudes(ctx context.Context, cfg Fig10aConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := ch.FrequencyResponse(0)
-	nv, err := phy.NoiseVarForActualSNR(h, cfg.SNR)
+	rx, _, err := ch.Propagate(nil, samples, 0, cfg.SNR, rng)
 	if err != nil {
 		return nil, err
 	}
-	rx := ch.Apply(samples, 0, nv, rng)
 	fe, err := phy.RunFrontEnd(rx)
 	if err != nil {
 		return nil, err
@@ -130,6 +130,8 @@ type Fig10bConfig struct {
 	Seed int64
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig10bConfig) setDefaults() {
@@ -166,7 +168,9 @@ func Fig10bThreshold(ctx context.Context, cfg Fig10bConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionB.NewVariant(false, 4)
+	// Serial prelude channel; pool tasks build their own (a channel model
+	// owns tap scratch, and the same variant is the same deterministic draw).
+	ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 4)
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +201,10 @@ func Fig10bThreshold(ctx context.Context, cfg Fig10bConfig) (*Result, error) {
 			return nil // index 0 is the serial prelude above
 		}
 		pi := i - 1
+		ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 4)
+		if err != nil {
+			return err
+		}
 		scr := &trialScratch{}
 		relDB := -15 + 40*float64(pi)/float64(cfg.Points-1)
 		th := noiseFloor * dsp.Linear(relDB)
@@ -258,6 +266,8 @@ type Fig10cConfig struct {
 	Interference bool
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig10cConfig) setDefaults() {
@@ -285,16 +295,18 @@ func accuracySweep(ctx context.Context, cfg Fig10cConfig, interfere bool) (fp, f
 	if err != nil {
 		return fp, fn, err
 	}
-	ch, err := channel.PositionB.NewVariant(false, 4)
-	if err != nil {
-		return fp, fn, err
-	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 	intf := channel.PulseInterferer{Power: 40, BurstLen: 160, StartProb: 0.004}
 
 	type point struct{ fp, fn float64 }
 	pts := make([]point, len(cfg.SNRs))
 	err = pool.ForEach(ctx, cfg.Workers, len(cfg.SNRs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		// Per task: a channel model owns tap scratch, so point-tasks must
+		// not share one (the same variant is the same deterministic draw).
+		ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 4)
+		if err != nil {
+			return err
+		}
 		scr := &trialScratch{}
 		actual, err := calibrateActualSNR(scr, ch, 0, mode, cfg.SNRs[i], rng)
 		if err != nil {

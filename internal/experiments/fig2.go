@@ -24,6 +24,8 @@ type Fig2Config struct {
 	Seed int64
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig2Config) setDefaults() {
@@ -70,7 +72,7 @@ func Fig2SNRGap(ctx context.Context, cfg Fig2Config) (*Result, error) {
 		scr := &trialScratch{}
 		v := i / steps
 		snr := cfg.MinSNR + float64(i%steps)*cfg.Step
-		ch, err := channel.PositionA.NewVariant(false, int64(v+1))
+		ch, err := trialChannel(cfg.Scenario, channel.PositionA, false, int64(v+1))
 		if err != nil {
 			return err
 		}

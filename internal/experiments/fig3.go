@@ -7,6 +7,7 @@ import (
 	"cos/internal/channel"
 	"cos/internal/phy"
 	"cos/internal/pool"
+	"cos/internal/scenario"
 )
 
 // Fig3Config parameterizes the decoder-input BER measurement.
@@ -24,6 +25,8 @@ type Fig3Config struct {
 	Seed int64
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig3Config) setDefaults() {
@@ -46,7 +49,7 @@ func (c *Fig3Config) setDefaults() {
 
 // fig3BERAt measures the decoder-input BER at one target measured SNR; it
 // is the body of one point-task and draws only from its private rng.
-func fig3BERAt(ctx context.Context, ch *channel.TDL, mode phy.Mode, targetMeasured float64, packets int, rng *rand.Rand) (float64, error) {
+func fig3BERAt(ctx context.Context, ch scenario.ChannelModel, mode phy.Mode, targetMeasured float64, packets int, rng *rand.Rand) (float64, error) {
 	scr := &trialScratch{}
 	actual, err := calibrateActualSNR(scr, ch, 0, mode, targetMeasured, rng)
 	if err != nil {
@@ -93,10 +96,6 @@ func Fig3DecoderBER(ctx context.Context, cfg Fig3Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionA.NewVariant(false, 7)
-	if err != nil {
-		return nil, err
-	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 
 	snrs := []float64{cfg.MinSNR} // task 0: the decoder tolerance anchor
@@ -105,6 +104,13 @@ func Fig3DecoderBER(ctx context.Context, cfg Fig3Config) (*Result, error) {
 	}
 	bers := make([]float64, len(snrs))
 	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		// Per task: a channel model owns tap scratch, so point-tasks must
+		// not share one (the realization itself is deterministic per
+		// variant, so every task sees the same channel).
+		ch, err := trialChannel(cfg.Scenario, channel.PositionA, false, 7)
+		if err != nil {
+			return err
+		}
 		ber, err := fig3BERAt(ctx, ch, mode, snrs[i], packets, rng)
 		if err != nil {
 			return err

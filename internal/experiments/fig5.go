@@ -22,6 +22,8 @@ type Fig5Config struct {
 	Seed int64
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig5Config) setDefaults() {
@@ -54,7 +56,7 @@ func Fig5EVM(ctx context.Context, cfg Fig5Config) (*Result, error) {
 
 	accs := make([][ofdm.NumData]float64, len(positions))
 	err = pool.ForEach(ctx, cfg.Workers, len(positions), cfg.Seed, func(i int, rng *rand.Rand) error {
-		ch, err := positions[i].New(false)
+		ch, err := trialChannel(cfg.Scenario, positions[i], false, 0)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,8 @@ type Fig6Config struct {
 	Seed int64
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig6Config) setDefaults() {
@@ -70,14 +72,16 @@ func Fig6ErrorPattern(ctx context.Context, cfg Fig6Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionA.New(true)
-	if err != nil {
-		return nil, err
-	}
 	packets := scaled(cfg.Packets, cfg.Scale)
 
 	perPacket := make([]fig6Packet, packets)
 	err = pool.ForEach(ctx, cfg.Workers, packets, cfg.Seed, func(p int, rng *rand.Rand) error {
+		// Per task: a channel model owns tap scratch, so point-tasks must
+		// not share one (variant 0 of the same geometry is the same draw).
+		ch, err := trialChannel(cfg.Scenario, channel.PositionA, true, 0)
+		if err != nil {
+			return err
+		}
 		t := float64(p) * 2e-3 // back-to-back traffic at 2 ms spacing
 		scr := &trialScratch{}
 		pr, err := probe(scr, ch, t, mode, 1024, cfg.SNR, rng)

@@ -11,6 +11,7 @@ import (
 	"cos/internal/ofdm"
 	"cos/internal/phy"
 	"cos/internal/pool"
+	"cos/internal/scenario"
 )
 
 // Fig7Config parameterizes the temporal-selectivity measurement.
@@ -33,6 +34,8 @@ type Fig7Config struct {
 	Seed int64
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig7Config) setDefaults() {
@@ -59,7 +62,7 @@ func (c *Fig7Config) setDefaults() {
 // errorVectorSnapshot measures the per-subcarrier mean error-vector
 // magnitudes D(t) and EVM(t), averaged over avg known packets at time t to
 // suppress estimator noise (the channel is static within a snapshot).
-func errorVectorSnapshot(ctx context.Context, ch *channel.TDL, t float64, mode phy.Mode, snr float64, avg int, rng *rand.Rand) (d, evm []float64, err error) {
+func errorVectorSnapshot(ctx context.Context, ch scenario.ChannelModel, t float64, mode phy.Mode, snr float64, avg int, rng *rand.Rand) (d, evm []float64, err error) {
 	if avg < 1 {
 		avg = 1
 	}
@@ -104,10 +107,6 @@ func Fig7Temporal(ctx context.Context, cfg Fig7Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.PositionC.New(true)
-	if err != nil {
-		return nil, err
-	}
 	draws := scaled(cfg.Draws, cfg.Scale)
 	taus := cfg.TausMs
 
@@ -119,6 +118,12 @@ func Fig7Temporal(ctx context.Context, cfg Fig7Config) (*Result, error) {
 	}
 	n := 1 + len(taus) + len(taus)*draws
 	err = pool.ForEach(ctx, cfg.Workers, n, cfg.Seed, func(i int, rng *rand.Rand) error {
+		// Per task: a channel model owns tap scratch, so point-tasks must
+		// not share one (variant 0 of the same geometry is the same draw).
+		ch, err := trialChannel(cfg.Scenario, channel.PositionC, true, 0)
+		if err != nil {
+			return err
+		}
 		if i <= len(taus) { // snapshot task for part (a)
 			t := t0
 			if i > 0 {

@@ -8,6 +8,7 @@ import (
 	icos "cos/internal/cos"
 	"cos/internal/phy"
 	"cos/internal/pool"
+	"cos/internal/scenario"
 )
 
 // Fig9Config parameterizes the free-control-message capacity measurement.
@@ -28,6 +29,8 @@ type Fig9Config struct {
 	Seed int64
 	// Workers bounds the point-task pool (0 = GOMAXPROCS).
 	Workers int
+	// Scenario is an optional scenario reference ("" = default world).
+	Scenario string
 }
 
 func (c *Fig9Config) setDefaults() {
@@ -67,10 +70,6 @@ const maxSilenceBudget = 160
 // parallelizes across the full mode grid.
 func Fig9Capacity(ctx context.Context, cfg Fig9Config) (*Result, error) {
 	cfg.setDefaults()
-	ch, err := channel.PositionB.NewVariant(false, 3)
-	if err != nil {
-		return nil, err
-	}
 	packets := scaled(cfg.PacketsPerTrial, cfg.Scale)
 	modes := phy.EvaluatedModes()
 
@@ -79,7 +78,13 @@ func Fig9Capacity(ctx context.Context, cfg Fig9Config) (*Result, error) {
 		rm     float64
 	}
 	pts := make([]point, len(modes)*cfg.PointsPerMode)
-	err = pool.ForEach(ctx, cfg.Workers, len(pts), cfg.Seed, func(i int, rng *rand.Rand) error {
+	err := pool.ForEach(ctx, cfg.Workers, len(pts), cfg.Seed, func(i int, rng *rand.Rand) error {
+		// Per task: a channel model owns tap scratch, so point-tasks must
+		// not share one (the same variant is the same deterministic draw).
+		ch, err := trialChannel(cfg.Scenario, channel.PositionB, false, 3)
+		if err != nil {
+			return err
+		}
 		mi, p := i/cfg.PointsPerMode, i%cfg.PointsPerMode
 		scr := &trialScratch{}
 		mode := modes[mi]
@@ -130,7 +135,7 @@ func Fig9Capacity(ctx context.Context, cfg Fig9Config) (*Result, error) {
 
 // maxBudgetAtPRR binary-searches the largest silence budget whose PRR meets
 // the target.
-func maxBudgetAtPRR(ctx context.Context, scr *trialScratch, ch *channel.TDL, actualSNR float64, mode phy.Mode, cfg Fig9Config, packets int, rng *rand.Rand) (int, error) {
+func maxBudgetAtPRR(ctx context.Context, scr *trialScratch, ch scenario.ChannelModel, actualSNR float64, mode phy.Mode, cfg Fig9Config, packets int, rng *rand.Rand) (int, error) {
 	nSym := mode.SymbolsForPSDU(cfg.PSDULen)
 	prrOK := func(budget int) (bool, error) {
 		if budget == 0 {

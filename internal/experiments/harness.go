@@ -9,7 +9,39 @@ import (
 	icos "cos/internal/cos"
 	"cos/internal/ofdm"
 	"cos/internal/phy"
+	"cos/internal/scenario"
+	_ "cos/internal/scenario/all" // register the built-in scenario components
 )
+
+// trialChannel draws the channel model an experiment point-task propagates
+// through: the scenario named by ref (default when empty) realized for the
+// given geometry, with the scenario's interferer (if any) composed in.
+func trialChannel(ref string, pos channel.Position, mobile bool, variant int64) (scenario.ChannelModel, error) {
+	sc, err := scenario.FromRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	model, err := sc.NewChannel(scenario.Geometry{Position: pos, Mobile: mobile, Variant: variant})
+	if err != nil {
+		return nil, err
+	}
+	intf, err := sc.NewInterferer()
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Interfered(model, intf), nil
+}
+
+// freqResponse reads a channel model's per-subcarrier response, for the
+// experiments that plot or threshold against |H|. Models without a
+// well-defined response are rejected.
+func freqResponse(model scenario.ChannelModel, t float64) ([ofdm.NumSubcarriers]complex128, error) {
+	fr, ok := model.(scenario.FrequencyResponder)
+	if !ok {
+		return [ofdm.NumSubcarriers]complex128{}, fmt.Errorf("experiments: channel model %T exposes no frequency response", model)
+	}
+	return fr.FrequencyResponse(t), nil
+}
 
 // trialScratch is the experiments' reusable working storage: the PHY
 // transmit/receive scratch arenas plus every buffer the trial harness
@@ -20,7 +52,6 @@ import (
 type trialScratch struct {
 	tx       phy.TxScratch
 	rx       phy.RxScratch
-	taps     []complex128
 	samples  []complex128
 	rxBuf    []complex128
 	psdu     []byte
@@ -42,11 +73,10 @@ type trialScratch struct {
 type probeResult struct {
 	tx        *phy.TxPacket
 	fe        *phy.FrontEnd
-	nv        float64 // time-domain noise variance used
 	actualSNR float64
 }
 
-func probe(s *trialScratch, ch *channel.TDL, t float64, mode phy.Mode, psduLen int, actualSNR float64, rng *rand.Rand) (*probeResult, error) {
+func probe(s *trialScratch, ch scenario.ChannelModel, t float64, mode phy.Mode, psduLen int, actualSNR float64, rng *rand.Rand) (*probeResult, error) {
 	if s == nil {
 		s = &trialScratch{}
 	}
@@ -63,31 +93,22 @@ func probe(s *trialScratch, ch *channel.TDL, t float64, mode phy.Mode, psduLen i
 	if err != nil {
 		return nil, err
 	}
-	// Taps are evaluated once per packet (no randomness is drawn), so the
-	// frequency response and the convolution see the same realization —
-	// exactly as FrequencyResponse followed by Apply did.
-	s.taps = ch.TapsInto(s.taps, t)
-	h := channel.FrequencyResponseFrom(s.taps)
-	nv, err := phy.NoiseVarForActualSNR(h, actualSNR)
+	var actual float64
+	s.rxBuf, actual, err = ch.Propagate(s.rxBuf, s.samples, t, actualSNR, rng)
 	if err != nil {
 		return nil, err
 	}
-	s.rxBuf = channel.ApplyTo(s.rxBuf, s.samples, s.taps, nv, rng)
 	fe, err := phy.RunFrontEndInto(&s.rx, s.rxBuf)
 	if err != nil {
 		return nil, err
 	}
-	actual, err := phy.ActualSNRdB(h, nv)
-	if err != nil {
-		return nil, err
-	}
-	return &probeResult{tx: tx, fe: fe, nv: nv, actualSNR: actual}, nil
+	return &probeResult{tx: tx, fe: fe, actualSNR: actual}, nil
 }
 
 // calibrateActualSNR finds the true SNR that makes the receiver's measured
 // (NIC) SNR hit target on channel ch, by fixed-point iteration on the
 // measured-vs-actual offset.
-func calibrateActualSNR(s *trialScratch, ch *channel.TDL, t float64, mode phy.Mode, target float64, rng *rand.Rand) (float64, error) {
+func calibrateActualSNR(s *trialScratch, ch scenario.ChannelModel, t float64, mode phy.Mode, target float64, rng *rand.Rand) (float64, error) {
 	actual := target
 	for iter := 0; iter < 4; iter++ {
 		// Average a few probes per step: a single packet's measured-SNR
@@ -125,9 +146,9 @@ type cosTrialConfig struct {
 	// ignorant baseline of the EVD ablation).
 	ignoreErasures bool
 	detector       icos.Detector
-	// interferer, when non-nil, injects pulse interference into the
-	// received samples (Fig. 10(d)).
-	interferer *channel.PulseInterferer
+	// interferer, when non-nil, injects interference into the received
+	// samples (Fig. 10(d) uses the pulse interferer).
+	interferer scenario.Interferer
 	// placement overrides interval-coded layout with an explicit silence
 	// position list (placement ablation); silences/k are ignored for
 	// control decoding when set.
@@ -146,7 +167,7 @@ type cosTrialResult struct {
 // runCoSTrial sends one FCS-protected packet with an embedded random control
 // message sized to produce exactly cfg.silences silence symbols, then runs
 // the full receive pipeline, all through s's scratch arenas.
-func runCoSTrial(s *trialScratch, ch *channel.TDL, t, actualSNR float64, cfg cosTrialConfig, rng *rand.Rand) (*cosTrialResult, error) {
+func runCoSTrial(s *trialScratch, ch scenario.ChannelModel, t, actualSNR float64, cfg cosTrialConfig, rng *rand.Rand) (*cosTrialResult, error) {
 	if s == nil {
 		s = &trialScratch{}
 	}
@@ -202,13 +223,10 @@ func runCoSTrial(s *trialScratch, ch *channel.TDL, t, actualSNR float64, cfg cos
 	if err != nil {
 		return nil, err
 	}
-	s.taps = ch.TapsInto(s.taps, t)
-	h := channel.FrequencyResponseFrom(s.taps)
-	nv, err := phy.NoiseVarForActualSNR(h, actualSNR)
+	s.rxBuf, _, err = ch.Propagate(s.rxBuf, s.samples, t, actualSNR, rng)
 	if err != nil {
 		return nil, err
 	}
-	s.rxBuf = channel.ApplyTo(s.rxBuf, s.samples, s.taps, nv, rng)
 	if cfg.interferer != nil {
 		if _, err := cfg.interferer.Apply(s.rxBuf, rng); err != nil {
 			return nil, err
@@ -278,7 +296,7 @@ func runCoSTrial(s *trialScratch, ch *channel.TDL, t, actualSNR float64, cfg cos
 // interval (worst-case interval spacing). Averaging the probes matters: a
 // single packet's channel estimate is noisy enough at weak subcarriers to
 // let a borderline-undetectable subcarrier slip past the floor.
-func selectCtrlSCsForBudget(s *trialScratch, ch *channel.TDL, t, actualSNR float64, mode phy.Mode, nSym, silences, k int, rng *rand.Rand) ([]int, error) {
+func selectCtrlSCsForBudget(s *trialScratch, ch scenario.ChannelModel, t, actualSNR float64, mode phy.Mode, nSym, silences, k int, rng *rand.Rand) ([]int, error) {
 	const probes = 3
 	evm := make([]float64, ofdm.NumData)
 	snrs := make([]float64, ofdm.NumData)

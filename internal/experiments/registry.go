@@ -20,6 +20,9 @@ type RunOptions struct {
 	Workers int
 	// Seed drives all randomness; zero selects 1.
 	Seed int64
+	// Scenario is an optional scenario reference ("" = the default world).
+	// It is threaded into every figure configuration verbatim.
+	Scenario string
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -50,7 +53,7 @@ func (f RunnerFunc) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 // registry maps experiment IDs to their runners.
 var registry = map[string]Runner{
 	"fig2": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		cfg := Fig2Config{Seed: o.Seed, Workers: o.Workers}
+		cfg := Fig2Config{Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario}
 		if o.Scale < 1 {
 			cfg.Variants = 2
 			cfg.Step = 2
@@ -58,58 +61,58 @@ var registry = map[string]Runner{
 		return Fig2SNRGap(ctx, cfg)
 	}),
 	"fig3": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return Fig3DecoderBER(ctx, Fig3Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return Fig3DecoderBER(ctx, Fig3Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"fig5": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return Fig5EVM(ctx, Fig5Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return Fig5EVM(ctx, Fig5Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"fig6": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return Fig6ErrorPattern(ctx, Fig6Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return Fig6ErrorPattern(ctx, Fig6Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"fig7": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return Fig7Temporal(ctx, Fig7Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return Fig7Temporal(ctx, Fig7Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"fig9": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		cfg := Fig9Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers}
+		cfg := Fig9Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario}
 		if o.Scale < 1 {
 			cfg.PointsPerMode = 2
 		}
 		return Fig9Capacity(ctx, cfg)
 	}),
 	"fig10a": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return Fig10aMagnitudes(ctx, Fig10aConfig{Seed: o.Seed})
+		return Fig10aMagnitudes(ctx, Fig10aConfig{Seed: o.Seed, Scenario: o.Scenario})
 	}),
 	"fig10b": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		cfg := Fig10bConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers}
+		cfg := Fig10bConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario}
 		if o.Scale < 1 {
 			cfg.Points = 13
 		}
 		return Fig10bThreshold(ctx, cfg)
 	}),
 	"fig10c": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return Fig10cAccuracy(ctx, Fig10cConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return Fig10cAccuracy(ctx, Fig10cConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"fig10d": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		cfg := Fig10cConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers}
+		cfg := Fig10cConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario}
 		if o.Scale < 1 {
 			cfg.SNRs = []float64{4, 8, 12, 16, 20}
 		}
 		return Fig10dInterference(ctx, cfg)
 	}),
 	"ablation-evd": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return AblationEVD(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return AblationEVD(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"ablation-placement": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return AblationPlacement(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return AblationPlacement(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"ablation-threshold": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return AblationThreshold(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return AblationThreshold(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"ablation-quantization": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return AblationQuantization(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return AblationQuantization(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 	"accuracy": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return ControlAccuracy(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers})
+		return ControlAccuracy(ctx, AblationConfig{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
 	}),
 }
 

@@ -1,0 +1,15 @@
+// Package all registers every built-in scenario component. Import it
+// blank wherever scenario names must resolve:
+//
+//	import _ "cos/internal/scenario/all"
+//
+// The root cos package imports it, so anything built on cos.NewLink (the
+// serve executor, the experiment engine, the CLIs) sees the full registry.
+package all
+
+import (
+	_ "cos/internal/scenario/indoor"
+	_ "cos/internal/scenario/outdoor"
+	_ "cos/internal/scenario/padding"
+	_ "cos/internal/scenario/silence"
+)

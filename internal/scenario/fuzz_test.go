@@ -1,0 +1,55 @@
+package scenario_test
+
+// FuzzParseRef lives here rather than next to internal/cos's fuzz targets
+// because internal/scenario cannot be imported from there (import cycle
+// through the component packages); the Makefile fuzz target runs both.
+
+import (
+	"strings"
+	"testing"
+
+	"cos/internal/scenario"
+)
+
+// FuzzParseRef hammers the scenario-reference parser: it must never panic,
+// and every accepted input must round-trip through String back to an
+// equivalent Ref (the canonical form is what job specs are keyed on).
+func FuzzParseRef(f *testing.F) {
+	for _, seed := range []string{
+		"", "default", "pulse", "pulse:40,160,0.004", "hybrid-bscpec:0.1,0.05,25",
+		"ofdm-padding", "mobile", "a", "a-b-c:1", "x:1,2,3,4,5,6,7,8",
+		":", "::", "p:", "p:,", "p:1,", "p:NaN", "p:Inf", "p:-Inf", "p:1e999",
+		"p:0x1p4", "P", "p p", "p:1;2", "p:+1", "p:-0", "p:1_000", "p:.5",
+		"\x00", "p:\x00", strings.Repeat("a", 300) + ":" + strings.Repeat("1,", 64) + "1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ref, err := scenario.ParseRef(s)
+		if err != nil {
+			return
+		}
+		if ref.Name == "" {
+			t.Fatalf("ParseRef(%q) accepted an empty name", s)
+		}
+		for _, p := range ref.Params {
+			if p != p {
+				t.Fatalf("ParseRef(%q) accepted NaN parameter", s)
+			}
+		}
+		// Round trip: the canonical rendering must parse back to the same
+		// reference (name and parameter count/values).
+		again, err := scenario.ParseRef(ref.String())
+		if err != nil {
+			t.Fatalf("ParseRef(%q).String() = %q does not re-parse: %v", s, ref.String(), err)
+		}
+		if again.Name != ref.Name || len(again.Params) != len(ref.Params) {
+			t.Fatalf("round trip drifted: %+v -> %+v", ref, again)
+		}
+		for i := range ref.Params {
+			if again.Params[i] != ref.Params[i] {
+				t.Fatalf("param %d drifted: %v -> %v", i, ref.Params[i], again.Params[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Ref is a textual scenario reference: a name with optional parameters,
+// written "name" or "name:p1,p2,...". Job specs and CLI flags carry refs;
+// FromRef resolves them against the registry.
+type Ref struct {
+	Name   string
+	Params []float64
+}
+
+// String renders the canonical textual form (shortest float formatting,
+// comma-separated, no spaces).
+func (r Ref) String() string {
+	if len(r.Params) == 0 {
+		return r.Name
+	}
+	var b strings.Builder
+	b.WriteString(r.Name)
+	b.WriteByte(':')
+	for i, p := range r.Params {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// ParseRef parses "name" or "name:p1,p2,...". Names are lowercase
+// letters, digits, and dashes; parameters are finite floats. ParseRef is
+// purely syntactic — it does not consult the registry (FromRef does).
+func ParseRef(s string) (Ref, error) {
+	name, rest, hasParams := strings.Cut(s, ":")
+	if name == "" {
+		return Ref{}, fmt.Errorf("scenario: empty scenario name in %q", s)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return Ref{}, fmt.Errorf("scenario: bad scenario name %q (want lowercase letters, digits, dashes)", name)
+		}
+	}
+	r := Ref{Name: name}
+	if !hasParams {
+		return r, nil
+	}
+	if rest == "" {
+		return Ref{}, fmt.Errorf("scenario: %q has a parameter separator but no parameters", s)
+	}
+	for _, field := range strings.Split(rest, ",") {
+		p, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return Ref{}, fmt.Errorf("scenario: bad parameter %q in %q", field, s)
+		}
+		if p != p || p > 1e300 || p < -1e300 {
+			return Ref{}, fmt.Errorf("scenario: non-finite parameter %q in %q", field, s)
+		}
+		r.Params = append(r.Params, p)
+	}
+	return r, nil
+}
+
+// FromRef parses and resolves a scenario reference. An empty string
+// selects the default scenario.
+func FromRef(s string) (Scenario, error) {
+	if s == "" {
+		return Resolve("")
+	}
+	ref, err := ParseRef(s)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Resolve(ref.Name, ref.Params...)
+}
+
+// CanonicalRef resolves a reference and renders its canonical spelling:
+// "" for the parameterless default scenario (so absent and explicit
+// default collapse onto one spec digest), "name" for parameterless
+// scenarios, and "name:p1,..." with the *effective* parameter vector for
+// parameterized ones — "pulse" and "pulse:40,160,0.004" (its defaults)
+// share one canonical form.
+func CanonicalRef(s string) (string, error) {
+	sc, err := FromRef(s)
+	if err != nil {
+		return "", err
+	}
+	params := sc.Params()
+	if sc.Name == DefaultName && len(params) == 0 {
+		return "", nil
+	}
+	return Ref{Name: sc.Name, Params: params}.String(), nil
+}

@@ -19,6 +19,7 @@
 //	                            deterministic self-contained HTML report
 //	POST /jobs/{key}/cancel     request cancellation
 //	GET  /events                stream the journal as NDJSON or SSE
+//	GET  /scenarios             list the registered scenario presets
 //	GET  /healthz               200 while admitting, 503 while draining
 //
 // Every non-2xx response carries one JSON envelope:
@@ -49,6 +50,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"cos/internal/scenario"
 	"cos/internal/serve"
 	"cos/internal/trace"
 )
@@ -58,6 +60,9 @@ import (
 const (
 	// CodeInvalidSpec: the spec decoded but failed validation.
 	CodeInvalidSpec = "invalid_spec"
+	// CodeInvalidScenario: the spec names a scenario that is not registered
+	// or whose parameters the scenario rejects.
+	CodeInvalidScenario = "invalid_scenario"
 	// CodeBadRequest: the request itself is malformed (bad JSON, unknown
 	// fields, bad query parameters).
 	CodeBadRequest = "bad_request"
@@ -179,6 +184,9 @@ func NewHandler(s *serve.Server) http.Handler {
 	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
 		handleEvents(s, w, r)
 	})
+	mux.HandleFunc("GET /scenarios", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, Scenarios())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Draining() {
 			writeError(w, http.StatusServiceUnavailable, CodeDraining, serve.ErrDraining)
@@ -246,9 +254,54 @@ func submit(s *serve.Server, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
 	case errors.Is(err, serve.ErrInvalidTraceOptions):
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+	case errors.Is(err, serve.ErrInvalidScenario):
+		writeError(w, http.StatusBadRequest, CodeInvalidScenario, err)
 	default: // spec validation
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err)
 	}
+}
+
+// ScenarioInfo is one GET /scenarios entry: a registered preset with its
+// component names made explicit (defaults filled in) and the preset's
+// tunable parameter vector, if any.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Channel     string `json:"channel"`
+	Interferer  string `json:"interferer,omitempty"`
+	Embedding   string `json:"embedding"`
+	Mobility    bool   `json:"mobility,omitempty"`
+	// ParamsFor names the component user-supplied parameters configure
+	// ("channel", "interferer", or "embedding"); Params are its defaults.
+	ParamsFor string    `json:"params_for,omitempty"`
+	Params    []float64 `json:"params,omitempty"`
+}
+
+// Scenarios returns the GET /scenarios payload: every registered scenario
+// preset, sorted by name — deterministic across processes and restarts.
+func Scenarios() []ScenarioInfo {
+	list := scenario.List()
+	out := make([]ScenarioInfo, 0, len(list))
+	for _, s := range list {
+		info := ScenarioInfo{
+			Name:        s.Name,
+			Description: s.Description,
+			Channel:     s.Channel,
+			Interferer:  s.Interferer,
+			Embedding:   s.Embedding,
+			Mobility:    s.Mobility,
+			ParamsFor:   s.ParamsFor,
+			Params:      s.Params(),
+		}
+		if info.Channel == "" {
+			info.Channel = scenario.DefaultChannel
+		}
+		if info.Embedding == "" {
+			info.Embedding = scenario.DefaultEmbedding
+		}
+		out = append(out, info)
+	}
+	return out
 }
 
 // resolveTrace resolves {key} to a finished flight-recorder trace body

@@ -8,6 +8,7 @@ import (
 
 	"cos"
 	"cos/internal/experiments"
+	"cos/internal/scenario"
 	"cos/internal/wlan"
 )
 
@@ -65,6 +66,13 @@ func linkOptions(spec Spec, agg *stageAgg, tc *traceCapture) ([]cos.Option, erro
 		cos.WithPosition(pos),
 		cos.WithSNR(spec.SNRdB),
 		cos.WithSeed(spec.Seed),
+	}
+	if spec.Scenario != "" {
+		ref, err := scenario.ParseRef(spec.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, cos.WithScenario(ref.Name, ref.Params...))
 	}
 	if spec.Mobile {
 		opts = append(opts, cos.WithMobile())
@@ -288,6 +296,7 @@ func runWLAN(ctx context.Context, spec Spec, enc *json.Encoder, agg *stageAgg, t
 			PayloadBytes: spec.PayloadBytes,
 			Coordination: coord,
 			Seed:         spec.Seed,
+			Scenario:     spec.Scenario,
 			Observer:     observer,
 		})
 		if err != nil {
@@ -367,9 +376,10 @@ type noteRecord struct {
 
 func runFigure(ctx context.Context, spec Spec, enc *json.Encoder) error {
 	res, err := experiments.Run(ctx, spec.Figure, experiments.RunOptions{
-		Scale:   spec.Scale,
-		Workers: spec.Workers,
-		Seed:    spec.Seed,
+		Scale:    spec.Scale,
+		Workers:  spec.Workers,
+		Seed:     spec.Seed,
+		Scenario: spec.Scenario,
 	})
 	if err != nil {
 		return err

@@ -5,12 +5,18 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
 	"cos"
 	"cos/internal/experiments"
+	"cos/internal/scenario"
 )
+
+// ErrInvalidScenario: the spec names a scenario the registry does not know
+// or parameterizes one badly (HTTP 400, code "invalid_scenario").
+var ErrInvalidScenario = errors.New("serve: invalid scenario")
 
 // Kind selects which simulation workload a job runs.
 type Kind string
@@ -85,6 +91,12 @@ type Spec struct {
 	// Workers bounds the figure's point-task pool (default 1; figure
 	// output is bit-identical for any worker count).
 	Workers int `json:"workers,omitempty"`
+
+	// Scenario selects a registered world scenario by reference — "pulse",
+	// "hybrid-bscpec", "ofdm-padding:..." (see internal/scenario). Empty
+	// selects the default scenario and encodes canonically as the absent
+	// field, so every pre-scenario spec keeps its v1 digest.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // normalized returns the spec with defaults applied. Execution, the
@@ -127,6 +139,12 @@ func (s Spec) normalized() Spec {
 	}
 	if s.Workers == 0 {
 		s.Workers = 1
+	}
+	if canon, err := scenario.CanonicalRef(s.Scenario); err == nil {
+		// Fold aliases onto one digest: absent, "default", and a
+		// parameterized spelling of a preset's own defaults are the same
+		// world. Invalid references pass through for Validate to reject.
+		s.Scenario = canon
 	}
 	return s
 }
@@ -201,6 +219,12 @@ func (s Spec) Canonical() ([]byte, error) {
 		"figure":        n.Figure,
 		"scale":         n.Scale,
 		"workers":       n.Workers,
+	}
+	// The scenario key is present only when a non-default scenario is
+	// selected: pre-scenario specs must keep their exact v1 canonical
+	// bytes (testdata/spec_canonical_v1.golden) without a schema bump.
+	if n.Scenario != "" {
+		fields["scenario"] = n.Scenario
 	}
 	b, err := json.Marshal(map[string]any{
 		"spec":        fields,
@@ -293,6 +317,11 @@ func (s Spec) Validate() error {
 	}
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("serve: timeout_ms %d must be non-negative", s.TimeoutMS)
+	}
+	if s.Scenario != "" {
+		if _, err := scenario.FromRef(s.Scenario); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidScenario, err)
+		}
 	}
 	if s.Kind == KindLink || s.Kind == KindStream {
 		if _, err := parsePosition(s.Position); err != nil {

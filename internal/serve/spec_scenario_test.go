@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestSpecScenarioBackCompat is the wire-format pin for the scenario field:
+// a spec without a scenario must keep producing the exact v1 canonical
+// bytes — no "scenario" key, same digest — so every digest minted before
+// the field existed stays valid.
+func TestSpecScenarioBackCompat(t *testing.T) {
+	got, err := goldenSpec().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(got, []byte("scenario")) {
+		t.Fatalf("no-scenario spec encodes a scenario key: %s", got)
+	}
+	// Explicitly naming the default world must collapse onto the same
+	// canonical bytes (and therefore the pinned v1 digest).
+	withDefault := goldenSpec()
+	withDefault.Scenario = "default"
+	got2, err := withDefault.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, got2) {
+		t.Fatalf("scenario \"default\" changed the canonical bytes:\n got: %s\nwant: %s", got2, got)
+	}
+	const wantDigest = "be08ab14ffb3d1d0f4bec037f4382b6c7f2b2629babd54bfcf6a5eca89a73333"
+	if d := withDefault.Digest(); d != wantDigest {
+		t.Fatalf("Digest() with explicit default scenario = %s, want the pinned v1 digest %s", d, wantDigest)
+	}
+}
+
+// TestSpecScenarioDigests pins the scenario field's digest semantics:
+// parameterized defaults collapse, real parameter changes separate, and a
+// scenario'd spec never collides with the bare one.
+func TestSpecScenarioDigests(t *testing.T) {
+	base := Spec{Kind: KindLink}
+
+	pulse := Spec{Kind: KindLink, Scenario: "pulse"}
+	pulseExplicit := Spec{Kind: KindLink, Scenario: "pulse:40,160,0.004"}
+	if pulse.Digest() != pulseExplicit.Digest() {
+		t.Error(`"pulse" and "pulse:40,160,0.004" (its defaults) must share a digest`)
+	}
+	if pulse.Digest() == base.Digest() {
+		t.Error(`"pulse" must not collide with the default world`)
+	}
+	stronger := Spec{Kind: KindLink, Scenario: "pulse:80,160,0.004"}
+	if stronger.Digest() == pulse.Digest() {
+		t.Error("different pulse parameters must separate digests")
+	}
+	hybrid := Spec{Kind: KindLink, Scenario: "hybrid-bscpec"}
+	padding := Spec{Kind: KindLink, Scenario: "ofdm-padding"}
+	if hybrid.Digest() == padding.Digest() || hybrid.Digest() == base.Digest() {
+		t.Error("distinct scenarios must have distinct digests")
+	}
+}
+
+// TestSpecScenarioValidation pins the typed rejection for bad scenarios:
+// unknown names, syntax errors, and parameters on parameterless presets
+// all wrap ErrInvalidScenario.
+func TestSpecScenarioValidation(t *testing.T) {
+	for _, ref := range []string{"no-such-world", "Bad Name", "pulse:", "default:1,2", "pulse:1e400"} {
+		s := Spec{Kind: KindLink, Scenario: ref}
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("Validate accepted scenario %q", ref)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidScenario) {
+			t.Errorf("Validate(%q) = %v, want ErrInvalidScenario", ref, err)
+		}
+	}
+	for _, ref := range []string{"", "default", "pulse", "pulse:50,100,0.01", "hybrid-bscpec", "ofdm-padding", "mobile"} {
+		s := Spec{Kind: KindLink, Scenario: ref}
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate rejected scenario %q: %v", ref, err)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"cos"
 	"cos/internal/obs"
+	"cos/internal/scenario"
 )
 
 // Coordination metrics: grant delivery split by transport and the airtime
@@ -139,6 +140,10 @@ type Config struct {
 	Coordination Coordination
 	// Seed drives all randomness.
 	Seed int64
+	// Scenario is an optional scenario reference ("pulse",
+	// "hybrid-bscpec:0.2,0.05,25", ...) applied to every station link; ""
+	// selects the default world (see internal/scenario).
+	Scenario string
 	// Observer, when non-nil, receives every downlink exchange from every
 	// station's link (the flight-recorder hook). The serve layer uses it to
 	// aggregate per-stage timings for WLAN jobs; it has no effect on the
@@ -209,6 +214,13 @@ func New(cfg Config) (*Network, error) {
 		}
 		if cfg.Coordination == CoordExplicit {
 			opts = append(opts, cos.WithoutCoS())
+		}
+		if cfg.Scenario != "" {
+			ref, err := scenario.ParseRef(cfg.Scenario)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, cos.WithScenario(ref.Name, ref.Params...))
 		}
 		if cfg.Observer != nil {
 			opts = append(opts, cos.WithObserver(cfg.Observer))

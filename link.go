@@ -221,9 +221,15 @@ func NewLink(opts ...Option) (*Link, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.tx = newTransmitter(cfg, &l.metrics)
+	l.tx, err = newTransmitter(cfg, &l.metrics)
+	if err != nil {
+		return nil, err
+	}
 	l.ch = ch
-	l.rx = newReceiver(cfg, ch, &l.metrics)
+	l.rx, err = newReceiver(cfg, ch, &l.metrics)
+	if err != nil {
+		return nil, err
+	}
 	return l, nil
 }
 

@@ -5,6 +5,8 @@ import (
 
 	"cos/internal/channel"
 	"cos/internal/obs"
+	"cos/internal/scenario"
+	_ "cos/internal/scenario/all" // register the built-in scenario components
 )
 
 // Position identifies a canonical indoor receiver placement; the three
@@ -25,6 +27,7 @@ type config struct {
 	position         Position
 	mobile           bool
 	variant          int64
+	scenario         scenario.Scenario
 	seed             int64
 	snrDB            float64
 	fixedRateMbps    int
@@ -167,7 +170,32 @@ func WithSilenceBudget(n int) Option {
 	}
 }
 
-// WithInterference adds a pulse interferer to the link (Fig. 10(d)).
+// WithScenario selects a registered world scenario by name — the channel
+// model, interferer, mobility, and control-bit embedding scheme composed
+// end-to-end ("default", "pulse", "mobile", "hybrid-bscpec",
+// "ofdm-padding", ...; see internal/scenario and `cos-sim
+// -list-scenarios`). Optional params configure the scenario's
+// parameterized component (e.g. WithScenario("pulse", 40, 160, 0.004)
+// sets the interferer's power, burst length, and start probability).
+// Geometry options (WithPosition, WithMobile, WithChannelVariant) still
+// apply; a scenario with Mobility forces the mobile channel.
+func WithScenario(name string, params ...float64) Option {
+	return func(c *config) error {
+		sc, err := scenario.Resolve(name, params...)
+		if err != nil {
+			return &ConfigError{Option: "WithScenario", Reason: err.Error(), Err: err}
+		}
+		c.scenario = sc
+		return nil
+	}
+}
+
+// WithInterference adds a pulse interferer to the link (Fig. 10(d)). It
+// overrides the scenario's interferer when both are configured.
+//
+// Deprecated: WithInterference predates the scenario registry; use
+// WithScenario("pulse", power, burstLen, startProb), which configures an
+// identical link. It is kept as a thin wrapper for compatibility.
 func WithInterference(power float64, burstLen int, startProb float64) Option {
 	return func(c *config) error {
 		p := &channel.PulseInterferer{Power: power, BurstLen: burstLen, StartProb: startProb}

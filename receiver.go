@@ -7,6 +7,7 @@ import (
 	icos "cos/internal/cos"
 	"cos/internal/ofdm"
 	"cos/internal/phy"
+	"cos/internal/scenario"
 )
 
 // RxResult reports the receive-side outcome of one frame. Its slice fields
@@ -58,6 +59,7 @@ type RxResult struct {
 // valid until the next Receive. A Receiver is not safe for concurrent use.
 type Receiver struct {
 	cfg     config
+	emb     scenario.Embedding
 	ch      *Channel
 	metrics *linkMetrics
 
@@ -70,18 +72,16 @@ type Receiver struct {
 	lastEVM      [ofdm.NumData]float64
 	lastSCSNRs   [ofdm.NumData]float64
 
-	// Scratch, reused across Receives.
-	rx        phy.RxScratch
-	ref       phy.TxScratch // reconstructed-grid scratch for feedback EVM
-	detMask   [][]bool
-	intervals []int
-	ctrlBits  []byte
-	eq        []complex128
-	evm       [ofdm.NumData]float64
-	sums      [ofdm.NumData]float64
-	counts    [ofdm.NumData]int
-	snrs      [ofdm.NumData]float64
-	res       RxResult
+	// Scratch, reused across Receives (the embedding owns the
+	// mask/interval scratch).
+	rx     phy.RxScratch
+	ref    phy.TxScratch // reconstructed-grid scratch for feedback EVM
+	eq     []complex128
+	evm    [ofdm.NumData]float64
+	sums   [ofdm.NumData]float64
+	counts [ofdm.NumData]int
+	snrs   [ofdm.NumData]float64
+	res    RxResult
 }
 
 // NewReceiver builds a standalone receiver node from link options. The
@@ -94,11 +94,15 @@ func NewReceiver(ch *Channel, opts ...Option) (*Receiver, error) {
 		return nil, err
 	}
 	m := newLinkMetrics(cfg.metrics)
-	return newReceiver(cfg, ch, &m), nil
+	return newReceiver(cfg, ch, &m)
 }
 
-func newReceiver(cfg config, ch *Channel, m *linkMetrics) *Receiver {
-	return &Receiver{cfg: cfg, ch: ch, metrics: m}
+func newReceiver(cfg config, ch *Channel, m *linkMetrics) (*Receiver, error) {
+	emb, err := cfg.scenario.NewEmbedding()
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{cfg: cfg, emb: emb, ch: ch, metrics: m}, nil
 }
 
 // LastEVM returns the receiver's most recent per-subcarrier EVM picture
@@ -136,14 +140,27 @@ func (r *Receiver) Receive(f *Frame, samples []complex128, now float64) (*RxResu
 	var detectedMask [][]bool
 	if len(f.ControlBits) > 0 {
 		spDet := r.metrics.span(StageDetect)
-		r.detMask, err = det.DetectMaskInto(r.detMask, fe, f.ControlSubcarriers)
+		detectedMask, err = r.emb.Mask(fe, f.Mode, f.ControlSubcarriers, r.cfg.thresholdFactor)
 		if err != nil {
 			return nil, err
 		}
-		detectedMask = r.detMask
 		spDet.End()
+	}
+
+	spEVD := r.metrics.span(StageEVD)
+	dec, err := fe.DecodeInto(&r.rx, phy.DecodeConfig{Mode: f.Mode, PSDULen: f.PSDULen, Erased: detectedMask})
+	if err != nil {
+		return nil, err
+	}
+	payload, dataOK := bits.CheckFCS(dec.PSDU)
+	spEVD.End()
+
+	if len(f.ControlBits) > 0 {
+		// Control extraction runs after data decoding so embeddings that
+		// ride the data bits (padding) can read the decode result; the
+		// silence path draws no randomness here, so the order is free.
 		spCtrl := r.metrics.span(StageControlDecode)
-		ctrlBits, exErr := r.decodeMask(detectedMask, f.ControlSubcarriers)
+		ctrlBits, exErr := r.emb.Extract(dec, detectedMask, f.ControlSubcarriers, r.cfg.bitsPerInterval)
 		spCtrl.End()
 		if exErr == nil {
 			res.ControlDecoded = true
@@ -158,19 +175,14 @@ func (r *Receiver) Receive(f *Frame, samples []complex128, now float64) (*RxResu
 				res.ControlOK = len(ctrlBits) >= len(f.ControlBits) && bits.Equal(ctrlBits[:len(f.ControlBits)], f.ControlBits)
 			}
 		}
-		res.Detection, err = icos.CompareMasks(f.TruthMask, detectedMask, f.ControlSubcarriers)
-		if err != nil {
-			return nil, err
+		if f.TruthMask != nil || detectedMask != nil {
+			res.Detection, err = icos.CompareMasks(f.TruthMask, detectedMask, f.ControlSubcarriers)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
-	spEVD := r.metrics.span(StageEVD)
-	dec, err := fe.DecodeInto(&r.rx, phy.DecodeConfig{Mode: f.Mode, PSDULen: f.PSDULen, Erased: detectedMask})
-	if err != nil {
-		return nil, err
-	}
-	payload, dataOK := bits.CheckFCS(dec.PSDU)
-	spEVD.End()
 	if dataOK {
 		res.DataOK = true
 		res.Data = payload
@@ -193,20 +205,6 @@ func (r *Receiver) Receive(f *Frame, samples []complex128, now float64) (*RxResu
 	res.mask = detectedMask
 	res.det = det
 	return res, nil
-}
-
-// decodeMask is icos.DecodeMask over the receiver's scratch buffers.
-func (r *Receiver) decodeMask(mask [][]bool, ctrlSCs []int) ([]byte, error) {
-	var err error
-	r.intervals, err = icos.ExtractIntervalsInto(r.intervals, mask, ctrlSCs)
-	if err != nil {
-		return nil, err
-	}
-	r.ctrlBits, err = icos.DecodeIntervalsInto(r.ctrlBits, r.intervals, r.cfg.bitsPerInterval)
-	if err != nil {
-		return nil, err
-	}
-	return r.ctrlBits, nil
 }
 
 // updateFeedback recomputes the receiver's EVM picture from the decoded

@@ -6,6 +6,7 @@ import (
 	"cos/internal/bits"
 	icos "cos/internal/cos"
 	"cos/internal/phy"
+	"cos/internal/scenario"
 )
 
 // Frame is one encoded transmission: the output of Transmitter.Encode and
@@ -53,12 +54,14 @@ type LinkFeedback struct {
 
 // Transmitter is the sender-side pipeline node: it selects the data mode
 // and silence budget from the last feedback, runs the 802.11a transmit
-// chain, embeds control bits as silences, and renders baseband samples.
-// It owns a reusable scratch arena, so steady-state Encode calls do not
-// allocate; the returned Frame aliases that arena and is valid until the
-// next Encode. A Transmitter is not safe for concurrent use.
+// chain, embeds control bits through the scenario's embedding scheme
+// (silence intervals by default), and renders baseband samples. It owns a
+// reusable scratch arena, so steady-state Encode calls do not allocate;
+// the returned Frame aliases that arena and is valid until the next
+// Encode. A Transmitter is not safe for concurrent use.
 type Transmitter struct {
 	cfg     config
+	emb     scenario.Embedding
 	rateTbl *icos.RateTable
 	metrics *linkMetrics
 
@@ -71,16 +74,14 @@ type Transmitter struct {
 	ctrlSCs      []int
 	measuredSNR  float64
 
-	// Scratch, reused across Encodes.
-	phy       phy.TxScratch
-	psdu      []byte
-	framed    []byte
-	padded    []byte
-	intervals []int
-	positions []icos.Pos
-	truthMask [][]bool
-	samples   []complex128
-	frame     Frame
+	// Scratch, reused across Encodes (the embedding owns the
+	// interval/mask scratch).
+	phy     phy.TxScratch
+	psdu    []byte
+	framed  []byte
+	padded  []byte
+	samples []complex128
+	frame   Frame
 }
 
 // NewTransmitter builds a standalone transmitter node from link options.
@@ -93,11 +94,15 @@ func NewTransmitter(opts ...Option) (*Transmitter, error) {
 		return nil, err
 	}
 	m := newLinkMetrics(cfg.metrics)
-	return newTransmitter(cfg, &m), nil
+	return newTransmitter(cfg, &m)
 }
 
-func newTransmitter(cfg config, m *linkMetrics) *Transmitter {
-	return &Transmitter{cfg: cfg, rateTbl: icos.DefaultRateTable(), metrics: m}
+func newTransmitter(cfg config, m *linkMetrics) (*Transmitter, error) {
+	emb, err := cfg.scenario.NewEmbedding()
+	if err != nil {
+		return nil, err
+	}
+	return &Transmitter{cfg: cfg, emb: emb, rateTbl: icos.DefaultRateTable(), metrics: m}, nil
 }
 
 // Mode returns the data mode the next Encode will use.
@@ -136,17 +141,34 @@ func (t *Transmitter) SilenceBudget() int {
 
 // MaxControlBits reports how many control bits the next Encode can embed
 // for a payload of dataLen bytes, accounting for the current budget, the
-// control subcarrier set, and worst-case interval layout.
+// control subcarrier set, and the embedding scheme's capacity (worst-case
+// interval layout for silences, pad size for padding).
 func (t *Transmitter) MaxControlBits(dataLen int) (int, error) {
-	if t.cfg.disableCoS || t.noDetectable {
+	if t.cfg.disableCoS || (t.emb.Budgeted() && t.noDetectable) {
 		return 0, nil
 	}
 	mode, err := t.Mode()
 	if err != nil {
 		return 0, err
 	}
-	budget := t.SilenceBudget()
 	k := t.cfg.bitsPerInterval
+	nCtrl := len(t.ctrlSCs)
+	if nCtrl == 0 {
+		nCtrl = t.cfg.minCtrl
+	}
+	byCapacity := t.emb.Capacity(mode, dataLen+bits.FCSLen, nCtrl, k)
+	if !t.emb.Budgeted() {
+		// Capacity-limited only: no silence budget applies, but framing
+		// overhead still eats into the pad.
+		if t.cfg.controlFraming {
+			byCapacity -= icos.FramedBits(0, t.emb.Align(k))
+		}
+		if byCapacity < 0 {
+			byCapacity = 0
+		}
+		return byCapacity, nil
+	}
+	budget := t.SilenceBudget()
 	byBudget := (budget - 1) * k
 	if byBudget < 0 {
 		byBudget = 0
@@ -157,12 +179,6 @@ func (t *Transmitter) MaxControlBits(dataLen int) (int, error) {
 			byBudget = 0
 		}
 	}
-	nSym := mode.SymbolsForPSDU(dataLen + bits.FCSLen)
-	nCtrl := len(t.ctrlSCs)
-	if nCtrl == 0 {
-		nCtrl = t.cfg.minCtrl
-	}
-	byCapacity := icos.MaxMessageBits(nSym, nCtrl, k)
 	if byCapacity < byBudget {
 		return byCapacity, nil
 	}
@@ -224,34 +240,25 @@ func (t *Transmitter) Encode(data, control []byte) (*Frame, error) {
 			return nil, fmt.Errorf("cos: %d control bits exceed the current budget of %d: %w", len(control), maxBits, ErrBudgetExceeded)
 		}
 		wire := control
+		align := t.emb.Align(t.cfg.bitsPerInterval)
 		if t.cfg.controlFraming {
 			t.framed, err = icos.FrameControlInto(t.framed, control)
 			if err != nil {
 				return nil, err
 			}
-			t.padded, err = icos.PadToIntervalInto(t.padded, t.framed, t.cfg.bitsPerInterval)
+			t.padded, err = icos.PadToIntervalInto(t.padded, t.framed, align)
 			if err != nil {
 				return nil, err
 			}
 			wire = t.padded
-		} else if len(control)%t.cfg.bitsPerInterval != 0 {
+		} else if align > 1 && len(control)%align != 0 {
 			return nil, fmt.Errorf("cos: %d control bits is not a multiple of k=%d (or use WithControlFraming): %w",
-				len(control), t.cfg.bitsPerInterval, ErrControlAlignment)
+				len(control), align, ErrControlAlignment)
 		}
-		t.intervals, err = icos.EncodeIntervalsInto(t.intervals, wire, t.cfg.bitsPerInterval)
+		f.TruthMask, f.SilencesInserted, err = t.emb.Embed(pkt, ctrlSCs, wire, t.cfg.bitsPerInterval)
 		if err != nil {
 			return nil, err
 		}
-		t.positions, err = icos.LayoutInto(t.positions, t.intervals, pkt.NumSymbols(), ctrlSCs)
-		if err != nil {
-			return nil, err
-		}
-		t.truthMask, err = icos.InsertSilencesInto(t.truthMask, pkt.Grid, t.positions)
-		if err != nil {
-			return nil, err
-		}
-		f.TruthMask = t.truthMask
-		f.SilencesInserted = icos.MaskCount(t.truthMask, ctrlSCs)
 	}
 
 	t.samples, err = pkt.SamplesInto(t.samples)
