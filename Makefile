@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events bench-cache bench-jobtrace bench-scenario figures figures-quick fuzz cover clean
+.PHONY: all build vet test test-short race ci bench bench-parallel bench-trace bench-pipeline bench-serve bench-events bench-cache bench-jobtrace bench-scenario bench-fleet figures figures-quick fuzz cover clean
 
 all: build vet test
 
@@ -34,7 +34,9 @@ race:
 # durability, HTTP round trip) under the race detector, and the scenario
 # registry's serve path (by-name jobs end-to-end, typed rejection,
 # /scenarios listing) plus a reduced-scale scenario head-to-head bench,
-# both under the race detector.
+# both under the race detector, and the fleet coordinator's failover /
+# mid-run-growth / byte-identity paths under the race detector (workers,
+# kill, and add-backend race the dispatch queue by design).
 ci: build vet
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -51,6 +53,7 @@ ci: build vet
 	$(GO) test -race -run 'TestTracedJobsByteIdentical|TestTraceCacheReuse|TestTraceSurvivesRestart|TestTraceRoundTrip' ./internal/serve/ ./internal/serve/http/
 	$(GO) test -race -run 'TestScenarioJobsEndToEnd|TestSubmitUnknownScenario|TestScenariosEndpoint' ./internal/serve/http/
 	$(GO) test -race -run TestWriteBenchScenarioReport -bench-scenario-out /tmp/BENCH_scenario.ci.json -bench-scenario-packets 40 .
+	$(GO) test -race ./internal/fleet/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -111,6 +114,14 @@ bench-jobtrace:
 # delivery, control accuracy, silence spend, and throughput per world.
 bench-scenario:
 	$(GO) test -run TestWriteBenchScenarioReport -bench-scenario-out $(CURDIR)/BENCH_scenario.json -v .
+
+# Regenerate BENCH_fleet.json: dispatches the same distinct link specs
+# through fleet coordinators over 1, 2, and 4 in-process cos-serve
+# backends, asserts every topology's assembly is byte-identical to the
+# single-backend run, and records jobs/sec plus the 2x/4x scaling ratios
+# (with an honest single-CPU methodology note when GOMAXPROCS=1).
+bench-fleet:
+	$(GO) test -v ./internal/fleet/ -run TestWriteBenchFleetReport -bench-fleet-out $(CURDIR)/BENCH_fleet.json
 
 # Publication-quality data for every paper figure and ablation (~10 min).
 figures:

@@ -5,42 +5,55 @@
 // Usage:
 //
 //	cos-figures -list
+//	cos-figures -list-scenarios
 //	cos-figures -fig fig9 [-scale 0.2]
 //	cos-figures -fig all -scale 0.1 -out results/
 //	cos-figures -fig all -workers 8 -metrics-addr :8080 -stats 10s
 //	cos-figures -fig fig3 -scenario hybrid-bscpec
+//	cos-figures -fig all -fleet http://host1:8080,http://host2:8080
 //
 // Scale 1 (default) is the publication-quality run; smaller scales shrink
 // packet counts proportionally for quick looks. Figures decompose into
 // point-tasks that run across -workers goroutines (default: all CPUs) with
 // bit-identical output at any worker count; ctrl-C cancels a run mid-sweep.
+//
+// -fleet fans the same point-tasks out across a set of cos-serve daemons
+// instead of local goroutines: the coordinator health-gates dispatch,
+// retries transient refusals with backoff, fails tasks over from dead
+// hosts, and assembles results in task order — the CSV is byte-identical
+// to a local run regardless of fleet size or which host ran what.
+//
 // Long runs are worth watching live: -metrics-addr serves /metrics and
 // /debug/pprof/, and -stats prints a periodic pipeline stats line to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 
 	"cos/internal/cli"
 	"cos/internal/experiments"
+	"cos/internal/fleet"
 	"cos/internal/scenario"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment ID (see -list) or 'all'")
-		scale   = flag.Float64("scale", 1, "sample-size scale; 1 = publication quality")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for point-tasks (results identical for any count)")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		out     = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
-		plot    = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		scen    = flag.String("scenario", "", "scenario preset reference, name[:p1,p2,...] (default: the paper's indoor world)")
+		fig        = flag.String("fig", "all", "experiment ID (see -list) or 'all'")
+		scale      = flag.Float64("scale", 1, "sample-size scale; 1 = publication quality")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for point-tasks (results identical for any count)")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		out        = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
+		plot       = flag.Bool("plot", false, "render an ASCII chart instead of CSV (stdout only)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		fleetHosts = flag.String("fleet", "", "comma-separated cos-serve base URLs to fan point-tasks out to (default: run in-process)")
 	)
+	scen, listScen := cli.ScenarioFlags(flag.CommandLine)
 	obsAddr, obsStats := cli.ObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -57,18 +70,41 @@ func main() {
 		}
 		return
 	}
+	if *listScen {
+		fmt.Print(scenario.FormatList())
+		return
+	}
 
 	// Ctrl-C (or SIGTERM) cancels the context; the point-task pool drains
 	// and the run exits mid-sweep instead of finishing the figure.
 	ctx := app.Context()
 
-	if *scen != "" {
-		// Fail fast on an unknown or malformed scenario instead of deep
-		// inside the first point-task.
-		if _, err := scenario.FromRef(*scen); err != nil {
-			fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+	// Fail fast on an unknown or malformed scenario instead of deep
+	// inside the first point-task.
+	if _, err := cli.ParseScenario(*scen); err != nil {
+		fmt.Fprintf(os.Stderr, "cos-figures: %v\n", err)
+		os.Exit(2)
+	}
+
+	// In-process by default; with -fleet, the same figures run through the
+	// coordinator and come back byte-identical.
+	runFigure := func(ctx context.Context, id string, opts experiments.RunOptions) (*experiments.Result, error) {
+		return experiments.Run(ctx, id, opts)
+	}
+	if *fleetHosts != "" {
+		var backends []fleet.Backend
+		for _, h := range strings.Split(*fleetHosts, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				backends = append(backends, fleet.Host(h))
+			}
+		}
+		if len(backends) == 0 {
+			fmt.Fprintln(os.Stderr, "cos-figures: -fleet needs at least one cos-serve URL")
 			os.Exit(2)
 		}
+		coord := fleet.New(fleet.Config{Backends: backends, Seed: *seed})
+		defer coord.Close()
+		runFigure = coord.RunFigure
 	}
 
 	opts := experiments.RunOptions{Scale: *scale, Workers: *workers, Seed: *seed, Scenario: *scen}
@@ -77,7 +113,7 @@ func main() {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
-		res, err := experiments.Run(ctx, id, opts)
+		res, err := runFigure(ctx, id, opts)
 		if err != nil {
 			if cli.Interrupted(err) {
 				fmt.Fprintf(os.Stderr, "cos-figures: %s: interrupted\n", id)

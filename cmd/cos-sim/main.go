@@ -88,9 +88,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "print each packet (single run only)")
 		traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file (single run only)")
 		probeN   = flag.Int("probe", 0, "record a PHY introspection probe every N packets into the trace (0 = off; needs -trace)")
-		scenRef  = flag.String("scenario", "", "scenario preset reference, name[:p1,p2,...] (see -list-scenarios)")
-		listScen = flag.Bool("list-scenarios", false, "list the registered scenario presets and exit")
 	)
+	scenRef, listScen := cli.ScenarioFlags(flag.CommandLine)
 	obsAddr, obsStats := cli.ObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -98,14 +97,10 @@ func main() {
 		fmt.Print(scenario.FormatList())
 		return
 	}
-	var scen scenario.Ref
-	if *scenRef != "" {
-		ref, err := scenario.ParseRef(*scenRef)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
-			os.Exit(2)
-		}
-		scen = ref
+	scen, err := cli.ParseScenario(*scenRef)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cos-sim: %v\n", err)
+		os.Exit(2)
 	}
 
 	app, err := cli.Boot(*obsAddr, *obsStats, os.Stderr)

@@ -80,19 +80,37 @@ func TestLibraryPackagesStayTransportFree(t *testing.T) {
 }
 
 // TestServeClientConsumers pins which packages may depend on the HTTP
-// client: only operator-facing binaries. Library packages reaching for the
-// client would re-couple the core to its own transport through the back
-// door, and new binaries should add themselves here deliberately.
+// client: operator-facing binaries and the fleet coordinator (which exists
+// to drive remote servers). Library packages reaching for the client would
+// re-couple the core to its own transport through the back door, and new
+// consumers should add themselves here deliberately.
 func TestServeClientConsumers(t *testing.T) {
 	const module = "cos"
 	allowed := map[string]bool{
-		module + "/cmd/cos-top": true,
+		module + "/cmd/cos-top":    true,
+		module + "/internal/fleet": true,
 	}
 	imports := moduleImports(t, module)
 	for pkg, set := range imports {
 		if set[module+"/internal/serve/client"] && !allowed[pkg] {
-			t.Errorf("%s imports %s/internal/serve/client; only %v may (extend the list deliberately if this is a new operator binary)",
-				pkg, module, []string{module + "/cmd/cos-top"})
+			t.Errorf("%s imports %s/internal/serve/client; only %v may (extend the list deliberately if this is a new operator binary or coordinator layer)",
+				pkg, module, []string{module + "/cmd/cos-top", module + "/internal/fleet"})
+		}
+	}
+}
+
+// TestFleetConsumers keeps the coordinator at the edge too: only cmd/
+// binaries may import internal/fleet. The experiments layer must never
+// grow a fleet dependency — it sees remote execution only through the
+// RunOptions.Exec interface, which is what keeps local and fleet runs
+// byte-identical by construction.
+func TestFleetConsumers(t *testing.T) {
+	const module = "cos"
+	imports := moduleImports(t, module)
+	for pkg, set := range imports {
+		if set[module+"/internal/fleet"] && !strings.HasPrefix(pkg, module+"/cmd/") {
+			t.Errorf("%s imports %s/internal/fleet; only cmd/ binaries may (library code integrates via experiments.RunOptions.Exec)",
+				pkg, module)
 		}
 	}
 }

@@ -1,0 +1,29 @@
+package cli
+
+import (
+	"flag"
+
+	"cos/internal/scenario"
+)
+
+// ScenarioFlags registers the scenario flag pair shared by cos-sim and
+// cos-figures — one definition so the two binaries' help text and
+// semantics cannot drift. Call before fs is parsed.
+func ScenarioFlags(fs *flag.FlagSet) (ref *string, list *bool) {
+	ref = fs.String("scenario", "",
+		"scenario preset reference, name[:p1,p2,...] (see -list-scenarios)")
+	list = fs.Bool("list-scenarios", false,
+		"list the registered scenario presets and exit")
+	return ref, list
+}
+
+// ParseScenario resolves the -scenario flag value: empty means "no
+// override" and parses to the zero Ref; anything else must name a
+// registered preset. Binaries fail fast on the error (exit 2) instead of
+// discovering a bad reference deep inside the first task.
+func ParseScenario(ref string) (scenario.Ref, error) {
+	if ref == "" {
+		return scenario.Ref{}, nil
+	}
+	return scenario.ParseRef(ref)
+}

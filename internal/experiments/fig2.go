@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
 	"sort"
 
 	"cos/internal/channel"
 	"cos/internal/phy"
-	"cos/internal/pool"
 )
 
 // Fig2Config parameterizes the SNR-gap measurement.
@@ -43,6 +43,107 @@ func (c *Fig2Config) setDefaults() {
 	}
 }
 
+// steps is the number of SNR points in the sweep grid.
+func (c *Fig2Config) steps() int {
+	n := 0
+	for snr := c.MinSNR; snr <= c.MaxSNR+1e-9; snr += c.Step {
+		n++
+	}
+	return n
+}
+
+// fig2ConfigFrom maps registry RunOptions onto a Fig2Config exactly as the
+// registry entry always has; serve's figure_task executor calls this too,
+// so a task decomposed locally and one decomposed on a backend agree.
+func fig2ConfigFrom(o RunOptions) Fig2Config {
+	cfg := Fig2Config{Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario}
+	if o.Scale < 1 {
+		cfg.Variants = 2
+		cfg.Step = 2
+	}
+	cfg.setDefaults()
+	return cfg
+}
+
+// fig2Record is one (variant, SNR) probe's serialized outcome. ok=false
+// marks an out-of-range SNR estimate whose slot stays empty.
+type fig2Record struct {
+	OK       bool    `json:"ok"`
+	Measured float64 `json:"measured"`
+	MinReq   float64 `json:"min_req"`
+	Actual   float64 `json:"actual"`
+}
+
+// fig2Tasks is Fig. 2 decomposed into one point-task per (variant, SNR)
+// grid cell. cfg must have defaults applied.
+type fig2Tasks struct {
+	cfg Fig2Config
+}
+
+func (f fig2Tasks) NumTasks() int { return f.cfg.Variants * f.cfg.steps() }
+
+func (f fig2Tasks) RunTask(ctx context.Context, i int, rng *rand.Rand) (json.RawMessage, error) {
+	probeMode, err := phy.ModeByRate(6)
+	if err != nil {
+		return nil, err
+	}
+	scr := &trialScratch{}
+	steps := f.cfg.steps()
+	v := i / steps
+	snr := f.cfg.MinSNR + float64(i%steps)*f.cfg.Step
+	ch, err := trialChannel(f.cfg.Scenario, channel.PositionA, false, int64(v+1))
+	if err != nil {
+		return nil, err
+	}
+	pr, err := probe(scr, ch, 0, probeMode, 256, snr, rng)
+	if err != nil {
+		return nil, err
+	}
+	measured, err := pr.fe.MeasuredSNRdB()
+	if err != nil {
+		return nil, err
+	}
+	rec := fig2Record{}
+	if measured >= f.cfg.MinSNR && measured <= f.cfg.MaxSNR {
+		mode := phy.SelectMode(measured)
+		rec = fig2Record{OK: true, Measured: measured, MinReq: mode.MinSNRdB, Actual: pr.actualSNR}
+	}
+	return json.Marshal(rec)
+}
+
+func (f fig2Tasks) Assemble(recs []json.RawMessage) (*Result, error) {
+	kept := make([]fig2Record, 0, len(recs))
+	for _, raw := range recs {
+		var rec fig2Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, err
+		}
+		if rec.OK {
+			kept = append(kept, rec)
+		}
+	}
+	sort.SliceStable(kept, func(a, b int) bool { return kept[a].Measured < kept[b].Measured })
+
+	res := &Result{
+		ID:     "fig2",
+		Title:  "SNR gap between minimum required SNR and actual channel SNR",
+		XLabel: "measured SNR (dB)",
+		YLabel: "SNR (dB)",
+	}
+	minReq := Series{Name: "MinRequiredSNR"}
+	actual := Series{Name: "ActualSNR"}
+	for _, p := range kept {
+		minReq.X = append(minReq.X, p.Measured)
+		minReq.Y = append(minReq.Y, p.MinReq)
+		actual.X = append(actual.X, p.Measured)
+		actual.Y = append(actual.Y, p.Actual)
+	}
+	res.Add(minReq)
+	res.Add(actual)
+	res.Note("actual SNR always sits above the stair-case minimum: the gap CoS harvests")
+	return res, nil
+}
+
 // Fig2SNRGap reproduces Fig. 2: the gap between the minimum SNR required by
 // the adaptively selected data rate and the actual channel SNR, as a
 // function of the receiver's measured SNR. Two mechanisms open the gap:
@@ -54,70 +155,5 @@ func (c *Fig2Config) setDefaults() {
 // runs on the worker pool and reassembles in deterministic order.
 func Fig2SNRGap(ctx context.Context, cfg Fig2Config) (*Result, error) {
 	cfg.setDefaults()
-	probeMode, err := phy.ModeByRate(6)
-	if err != nil {
-		return nil, err
-	}
-	steps := 0
-	for snr := cfg.MinSNR; snr <= cfg.MaxSNR+1e-9; snr += cfg.Step {
-		steps++
-	}
-
-	type point struct {
-		ok                       bool
-		measured, minReq, actual float64
-	}
-	pts := make([]point, cfg.Variants*steps)
-	err = pool.ForEach(ctx, cfg.Workers, len(pts), cfg.Seed, func(i int, rng *rand.Rand) error {
-		scr := &trialScratch{}
-		v := i / steps
-		snr := cfg.MinSNR + float64(i%steps)*cfg.Step
-		ch, err := trialChannel(cfg.Scenario, channel.PositionA, false, int64(v+1))
-		if err != nil {
-			return err
-		}
-		pr, err := probe(scr, ch, 0, probeMode, 256, snr, rng)
-		if err != nil {
-			return err
-		}
-		measured, err := pr.fe.MeasuredSNRdB()
-		if err != nil {
-			return err
-		}
-		if measured < cfg.MinSNR || measured > cfg.MaxSNR {
-			return nil // out-of-range estimate: leave the slot empty
-		}
-		mode := phy.SelectMode(measured)
-		pts[i] = point{ok: true, measured: measured, minReq: mode.MinSNRdB, actual: pr.actualSNR}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	kept := pts[:0]
-	for _, p := range pts {
-		if p.ok {
-			kept = append(kept, p)
-		}
-	}
-	sort.SliceStable(kept, func(a, b int) bool { return kept[a].measured < kept[b].measured })
-
-	res := &Result{
-		ID:     "fig2",
-		Title:  "SNR gap between minimum required SNR and actual channel SNR",
-		XLabel: "measured SNR (dB)",
-		YLabel: "SNR (dB)",
-	}
-	minReq := Series{Name: "MinRequiredSNR"}
-	actual := Series{Name: "ActualSNR"}
-	for _, p := range kept {
-		minReq.X = append(minReq.X, p.measured)
-		minReq.Y = append(minReq.Y, p.minReq)
-		actual.X = append(actual.X, p.measured)
-		actual.Y = append(actual.Y, p.actual)
-	}
-	res.Add(minReq)
-	res.Add(actual)
-	res.Note("actual SNR always sits above the stair-case minimum: the gap CoS harvests")
-	return res, nil
+	return runTasks(ctx, "fig2", RunOptions{Workers: cfg.Workers, Seed: cfg.Seed}, fig2Tasks{cfg: cfg})
 }

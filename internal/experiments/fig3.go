@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
 
 	"cos/internal/channel"
 	"cos/internal/phy"
-	"cos/internal/pool"
 	"cos/internal/scenario"
 )
 
@@ -81,45 +81,67 @@ func fig3BERAt(ctx context.Context, ch scenario.ChannelModel, mode phy.Mode, tar
 	return float64(errsTotal) / float64(bitsTotal), nil
 }
 
-// Fig3DecoderBER reproduces Fig. 3: decoder-input BER versus measured SNR
-// at 24 Mb/s. "Actual BER" is the hard-decision error rate on the coded
-// bits entering the Viterbi decoder; "Redundant BER" is the headroom —
-// the BER the decoder could still tolerate, estimated as the decoder-input
-// BER at the mode's minimum required SNR (12 dB) minus the actual BER.
-//
-// The sweep decomposes into one point-task per SNR point plus one for the
-// 12 dB tolerance anchor; tasks run on the worker pool with private RNGs,
-// so parallel output is bit-identical to serial.
-func Fig3DecoderBER(ctx context.Context, cfg Fig3Config) (*Result, error) {
+// fig3ConfigFrom maps registry RunOptions onto a Fig3Config exactly as the
+// registry entry always has; serve's figure_task executor shares it so
+// local and remote decompositions agree.
+func fig3ConfigFrom(o RunOptions) Fig3Config {
+	cfg := Fig3Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario}
 	cfg.setDefaults()
+	return cfg
+}
+
+// snrPoints is the sweep grid: task 0 is the decoder tolerance anchor at
+// MinSNR, tasks 1..n the swept points.
+func (c *Fig3Config) snrPoints() []float64 {
+	snrs := []float64{c.MinSNR}
+	for snr := c.MinSNR; snr <= c.MaxSNR+1e-9; snr += c.Step {
+		snrs = append(snrs, snr)
+	}
+	return snrs
+}
+
+// fig3Record is one point-task's serialized outcome: the decoder-input BER
+// measured at its SNR point.
+type fig3Record struct {
+	BER float64 `json:"ber"`
+}
+
+// fig3Tasks is Fig. 3 decomposed into one point-task per SNR point plus
+// the 12 dB tolerance anchor (task 0). cfg must have defaults applied.
+type fig3Tasks struct {
+	cfg Fig3Config
+}
+
+func (f fig3Tasks) NumTasks() int { return len(f.cfg.snrPoints()) }
+
+func (f fig3Tasks) RunTask(ctx context.Context, i int, rng *rand.Rand) (json.RawMessage, error) {
 	mode, err := phy.ModeByRate(24)
 	if err != nil {
 		return nil, err
 	}
-	packets := scaled(cfg.Packets, cfg.Scale)
-
-	snrs := []float64{cfg.MinSNR} // task 0: the decoder tolerance anchor
-	for snr := cfg.MinSNR; snr <= cfg.MaxSNR+1e-9; snr += cfg.Step {
-		snrs = append(snrs, snr)
-	}
-	bers := make([]float64, len(snrs))
-	err = pool.ForEach(ctx, cfg.Workers, len(snrs), cfg.Seed, func(i int, rng *rand.Rand) error {
-		// Per task: a channel model owns tap scratch, so point-tasks must
-		// not share one (the realization itself is deterministic per
-		// variant, so every task sees the same channel).
-		ch, err := trialChannel(cfg.Scenario, channel.PositionA, false, 7)
-		if err != nil {
-			return err
-		}
-		ber, err := fig3BERAt(ctx, ch, mode, snrs[i], packets, rng)
-		if err != nil {
-			return err
-		}
-		bers[i] = ber
-		return nil
-	})
+	// Per task: a channel model owns tap scratch, so point-tasks must not
+	// share one (the realization itself is deterministic per variant, so
+	// every task sees the same channel).
+	ch, err := trialChannel(f.cfg.Scenario, channel.PositionA, false, 7)
 	if err != nil {
 		return nil, err
+	}
+	ber, err := fig3BERAt(ctx, ch, mode, f.cfg.snrPoints()[i], scaled(f.cfg.Packets, f.cfg.Scale), rng)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(fig3Record{BER: ber})
+}
+
+func (f fig3Tasks) Assemble(recs []json.RawMessage) (*Result, error) {
+	snrs := f.cfg.snrPoints()
+	bers := make([]float64, len(recs))
+	for i, raw := range recs {
+		var rec fig3Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, err
+		}
+		bers[i] = rec.BER
 	}
 	tolerable := bers[0]
 
@@ -146,4 +168,18 @@ func Fig3DecoderBER(ctx context.Context, cfg Fig3Config) (*Result, error) {
 	res.Add(redundSer)
 	res.Note("tolerable decoder-input BER anchored at the 12 dB minimum required SNR: %.5f", tolerable)
 	return res, nil
+}
+
+// Fig3DecoderBER reproduces Fig. 3: decoder-input BER versus measured SNR
+// at 24 Mb/s. "Actual BER" is the hard-decision error rate on the coded
+// bits entering the Viterbi decoder; "Redundant BER" is the headroom —
+// the BER the decoder could still tolerate, estimated as the decoder-input
+// BER at the mode's minimum required SNR (12 dB) minus the actual BER.
+//
+// The sweep decomposes into one point-task per SNR point plus one for the
+// 12 dB tolerance anchor; tasks run on the worker pool with private RNGs,
+// so parallel output is bit-identical to serial.
+func Fig3DecoderBER(ctx context.Context, cfg Fig3Config) (*Result, error) {
+	cfg.setDefaults()
+	return runTasks(ctx, "fig3", RunOptions{Workers: cfg.Workers, Seed: cfg.Seed}, fig3Tasks{cfg: cfg})
 }

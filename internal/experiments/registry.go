@@ -23,6 +23,13 @@ type RunOptions struct {
 	// Scenario is an optional scenario reference ("" = the default world).
 	// It is threaded into every figure configuration verbatim.
 	Scenario string
+	// Exec, when non-nil, runs the point-tasks of task-decomposable
+	// figures (see Tasks) instead of the in-process pool — the fleet
+	// coordinator plugs in here to fan tasks out across cos-serve
+	// backends. Results are byte-identical either way; figures that do not
+	// decompose ignore it. Not comparable/serializable: excluded from any
+	// notion of run identity.
+	Exec Executor
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -52,16 +59,14 @@ func (f RunnerFunc) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 
 // registry maps experiment IDs to their runners.
 var registry = map[string]Runner{
+	// fig2 and fig3 decompose into serializable point-tasks (task.go), so
+	// their entries run through runTasks: the same path executes locally on
+	// the pool or remotely through opts.Exec, byte-identically.
 	"fig2": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		cfg := Fig2Config{Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario}
-		if o.Scale < 1 {
-			cfg.Variants = 2
-			cfg.Step = 2
-		}
-		return Fig2SNRGap(ctx, cfg)
+		return runTasks(ctx, "fig2", o, fig2Tasks{cfg: fig2ConfigFrom(o)})
 	}),
 	"fig3": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
-		return Fig3DecoderBER(ctx, Fig3Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})
+		return runTasks(ctx, "fig3", o, fig3Tasks{cfg: fig3ConfigFrom(o)})
 	}),
 	"fig5": RunnerFunc(func(ctx context.Context, o RunOptions) (*Result, error) {
 		return Fig5EVM(ctx, Fig5Config{Scale: o.Scale, Seed: o.Seed, Workers: o.Workers, Scenario: o.Scenario})

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cos/internal/pool"
+)
+
+// A TaskSet is a figure decomposed into independent, serializable
+// point-tasks. It is the network-portable form of the closure slice the
+// worker pool already runs: every task is addressed by its index, draws
+// only from the private RNG handed to it (pool.TaskRNG(seed, i)), and
+// returns a JSON record instead of writing into shared state. Assemble
+// folds the records — in index order — back into the figure's Result.
+//
+// The contract that makes remote execution byte-identical to local:
+// RunTask(i) is a pure function of (TaskSet construction inputs, i, the
+// task seed), and Go's float64 JSON round-trip is exact, so a record
+// computed on another host and shipped back through NDJSON unmarshals to
+// the same values the in-process closure would have produced.
+type TaskSet interface {
+	// NumTasks returns the task count; valid indices are [0, NumTasks).
+	NumTasks() int
+	// RunTask executes task i with its private RNG and returns its record.
+	RunTask(ctx context.Context, i int, rng *rand.Rand) (json.RawMessage, error)
+	// Assemble folds the records, indexed by task, into the figure Result.
+	Assemble(recs []json.RawMessage) (*Result, error)
+}
+
+// An Executor runs a figure's point-tasks somewhere other than the
+// in-process pool — the fleet coordinator implements it by submitting one
+// figure_task job per index to cos-serve backends. ExecTasks must return
+// exactly n records, where record i is what ts.RunTask(ctx, i,
+// pool.TaskRNG(seed, i)) returns for the TaskSet that Tasks(id, opts)
+// builds; opts is passed through verbatim so both sides derive the same
+// decomposition.
+type Executor interface {
+	ExecTasks(ctx context.Context, id string, opts RunOptions, n int) ([]json.RawMessage, error)
+}
+
+// taskRegistry maps the experiment IDs that decompose into serializable
+// point-tasks to their TaskSet constructors. Figures whose tasks carry
+// non-trivial shared state stay registry-only and run whole (the fleet
+// ships those as single figure jobs instead).
+var taskRegistry = map[string]func(RunOptions) TaskSet{
+	"fig2": func(o RunOptions) TaskSet { return fig2Tasks{cfg: fig2ConfigFrom(o)} },
+	"fig3": func(o RunOptions) TaskSet { return fig3Tasks{cfg: fig3ConfigFrom(o)} },
+}
+
+// TaskIDs lists the experiment IDs that decompose into point-tasks, in
+// sorted order (a subset of IDs()).
+func TaskIDs() []string {
+	out := make([]string, 0, len(taskRegistry))
+	for id := range taskRegistry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tasks returns figure id's point-task decomposition under opts, or false
+// when the figure does not decompose. The same opts always yield the same
+// decomposition (task count and per-task behavior), on every host.
+func Tasks(id string, opts RunOptions) (TaskSet, bool) {
+	mk, ok := taskRegistry[id]
+	if !ok {
+		return nil, false
+	}
+	return mk(opts), true
+}
+
+// runTasks executes a TaskSet and assembles its Result. With opts.Exec
+// set, the executor owns task execution (the records come back over the
+// wire); otherwise the tasks run on the in-process pool exactly as the
+// pre-TaskSet closures did — same worker semantics, same per-task seeds,
+// same lowest-index-error rule.
+func runTasks(ctx context.Context, id string, opts RunOptions, ts TaskSet) (*Result, error) {
+	n := ts.NumTasks()
+	var recs []json.RawMessage
+	if opts.Exec != nil {
+		var err error
+		recs, err = opts.Exec.ExecTasks(ctx, id, opts, n)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) != n {
+			return nil, fmt.Errorf("experiments: executor returned %d records for %s, want %d", len(recs), id, n)
+		}
+	} else {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		recs = make([]json.RawMessage, n)
+		if err := pool.ForEach(ctx, opts.Workers, n, seed, func(i int, rng *rand.Rand) error {
+			rec, err := ts.RunTask(ctx, i, rng)
+			if err != nil {
+				return err
+			}
+			recs[i] = rec
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return ts.Assemble(recs)
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cos/internal/obs"
+	"cos/internal/serve"
+)
+
+// benchFleetOut enables TestWriteBenchFleetReport; `make bench-fleet`
+// points it at BENCH_fleet.json.
+var benchFleetOut = flag.String("bench-fleet-out", "", "write the fleet scaling report to this JSON file")
+
+// TestWriteBenchFleetReport regenerates BENCH_fleet.json (via `make
+// bench-fleet`): D distinct link specs run through coordinators over 1, 2,
+// and 4 in-process backends; every topology's assembly is asserted
+// byte-identical to the single-backend run, and the report records
+// jobs/sec per fleet size plus the 2x/4x scaling ratios.
+//
+// Methodology: the backends are Loopbacks — real serve.Server instances
+// (admission, shard queue, result streaming), so what scales is genuinely
+// concurrent job execution across independent servers. On a multi-core
+// host the 2-backend fleet must clear 1.7x the single-backend throughput.
+// On a single-CPU host (GOMAXPROCS=1) all backends time-share one core, so
+// near-1.0x ratios are the honest expectation; the report says which case
+// it measured and the ratio gate applies only to the multi-core case. It
+// skips itself unless -bench-fleet-out is set so `go test ./...` stays
+// fast.
+func TestWriteBenchFleetReport(t *testing.T) {
+	if *benchFleetOut == "" {
+		t.Skip("set -bench-fleet-out to write the report")
+	}
+
+	const jobs = 32
+	specs := make([]serve.Spec, jobs)
+	for i := range specs {
+		specs[i] = serve.Spec{Kind: serve.KindLink, Seed: int64(i + 1), PayloadBytes: 256, Packets: 50, ControlBits: 32}
+	}
+
+	type tier struct {
+		Backends      int     `json:"backends"`
+		Seconds       float64 `json:"seconds"`
+		JobsPerSecond float64 `json:"jobs_per_second"`
+	}
+	var tiers []tier
+	var reference [][]byte
+	identical := true
+
+	for _, nBackends := range []int{1, 2, 4} {
+		backends := make([]Backend, nBackends)
+		for i := range backends {
+			srv := serve.New(serve.Config{Shards: 1, QueueDepth: jobs, Metrics: obs.NewRegistry()})
+			defer srv.Drain(60 * time.Second)
+			backends[i] = NewLoopback(fmt.Sprintf("bench%d-%d", nBackends, i), srv)
+		}
+		c := New(Config{Backends: backends})
+		start := time.Now()
+		bodies, err := c.Run(context.Background(), specs)
+		elapsed := time.Since(start)
+		c.Close()
+		if err != nil {
+			t.Fatalf("%d backends: %v", nBackends, err)
+		}
+		if reference == nil {
+			reference = bodies
+		} else {
+			for i := range bodies {
+				if !bytes.Equal(bodies[i], reference[i]) {
+					identical = false
+					t.Errorf("%d backends: task %d differs from the single-backend run", nBackends, i)
+				}
+			}
+		}
+		tiers = append(tiers, tier{
+			Backends:      nBackends,
+			Seconds:       elapsed.Seconds(),
+			JobsPerSecond: float64(jobs) / elapsed.Seconds(),
+		})
+	}
+
+	scaling2x := tiers[1].JobsPerSecond / tiers[0].JobsPerSecond
+	scaling4x := tiers[2].JobsPerSecond / tiers[0].JobsPerSecond
+	multiCore := runtime.GOMAXPROCS(0) >= 2
+	if multiCore && scaling2x < 1.7 {
+		t.Errorf("2-backend scaling = %.2fx on a %d-way host, want >= 1.7x", scaling2x, runtime.GOMAXPROCS(0))
+	}
+
+	methodology := "multi-core host: backends execute on separate cores, ratios reflect real parallel speedup"
+	if !multiCore {
+		methodology = "single-CPU host (GOMAXPROCS=1): all backends time-share one core, so jobs/sec cannot scale with fleet size and near-1.0x ratios are expected; the run still proves coordination overhead is negligible and output is byte-identical at every fleet size"
+	}
+
+	report := struct {
+		Description     string  `json:"description"`
+		CPUs            int     `json:"cpus"`
+		GoMaxProcs      int     `json:"gomaxprocs"`
+		Jobs            int     `json:"jobs"`
+		Tiers           []tier  `json:"tiers"`
+		Scaling2x       float64 `json:"scaling_2_backends"`
+		Scaling4x       float64 `json:"scaling_4_backends"`
+		OutputIdentical bool    `json:"output_identical"`
+		Methodology     string  `json:"methodology"`
+		GoVersion       string  `json:"go_version"`
+	}{
+		Description:     "fleet coordinator scaling: the same 32 distinct link specs dispatched through 1, 2, and 4 in-process cos-serve backends; assemblies asserted byte-identical across fleet sizes",
+		CPUs:            runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Jobs:            jobs,
+		Tiers:           tiers,
+		Scaling2x:       scaling2x,
+		Scaling4x:       scaling4x,
+		OutputIdentical: identical,
+		Methodology:     methodology,
+		GoVersion:       runtime.Version(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchFleetOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: 1->2 backends %.2fx, 1->4 backends %.2fx (identical=%v, %s)",
+		*benchFleetOut, scaling2x, scaling4x, identical, methodology)
+}

@@ -1,0 +1,57 @@
+package fleet
+
+// Journal event types emitted by the Coordinator. They ride the same
+// obs/event.Journal as the server-side job_* events, so cos-top and the
+// /events stream see dispatch decisions interleaved with job lifecycle.
+const (
+	// EventFleetDispatch: a worker handed a task to its backend (one per
+	// attempt, so retries show up as dispatch/retry pairs).
+	EventFleetDispatch = "fleet_dispatch"
+	// EventFleetRetry: a transient failure; the worker sleeps DelayMS and
+	// tries the same backend again.
+	EventFleetRetry = "fleet_retry"
+	// EventFleetFailover: a backend exhausted its retries on a task; the
+	// task went back on the queue for another backend.
+	EventFleetFailover = "fleet_failover"
+	// EventBackendUp: a backend entered (or re-entered) dispatch rotation.
+	EventBackendUp = "backend_up"
+	// EventBackendDown: a health probe failed after a failover; the worker
+	// stops dispatching and reprobes until the backend recovers.
+	EventBackendDown = "backend_down"
+)
+
+// DispatchEvent is the payload of EventFleetDispatch.
+type DispatchEvent struct {
+	Backend string `json:"backend"`
+	Task    int    `json:"task"`
+	Digest  string `json:"digest"`
+	// Attempt counts dispatches of this task to this backend (0 = first).
+	Attempt int `json:"attempt"`
+}
+
+// RetryEvent is the payload of EventFleetRetry.
+type RetryEvent struct {
+	Backend string  `json:"backend"`
+	Task    int     `json:"task"`
+	Digest  string  `json:"digest"`
+	Attempt int     `json:"attempt"`
+	DelayMS float64 `json:"delay_ms"`
+	Error   string  `json:"error"`
+}
+
+// FailoverEvent is the payload of EventFleetFailover.
+type FailoverEvent struct {
+	Backend string `json:"backend"`
+	Task    int    `json:"task"`
+	Digest  string `json:"digest"`
+	// Hops counts backends that have given up on this task so far.
+	Hops  int    `json:"hops"`
+	Error string `json:"error"`
+}
+
+// BackendEvent is the payload of EventBackendUp and EventBackendDown.
+type BackendEvent struct {
+	Backend string `json:"backend"`
+	// Error is the probe failure that took the backend down; empty on up.
+	Error string `json:"error,omitempty"`
+}

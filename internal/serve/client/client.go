@@ -155,12 +155,39 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 	defer resp.Body.Close()
 	apiErr := &APIError{StatusCode: resp.StatusCode}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		if d, ok := ParseRetryAfter(ra, time.Now()); ok {
+			apiErr.RetryAfter = d
 		}
 	}
+	// The envelope's retry_after_ms, when present and positive, overrides
+	// the header: it is the server's own hint at millisecond resolution,
+	// while the header is capped to whole seconds by HTTP.
 	decodeEnvelope(resp.Body, apiErr)
 	return nil, apiErr
+}
+
+// ParseRetryAfter interprets a Retry-After header value relative to now.
+// Both RFC 9110 forms are handled: delta-seconds ("1") and HTTP-date
+// ("Mon, 02 Jan 2006 15:04:05 GMT" and the obsolete date layouts). Values
+// in the past — a negative delta or an elapsed date — clamp to zero, which
+// still means "the server sent a hint" (retry immediately), so ok stays
+// true; ok is false only for unparseable values.
+func ParseRetryAfter(v string, now time.Time) (wait time.Duration, ok bool) {
+	v = strings.TrimSpace(v)
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // decodeEnvelope fills apiErr from the response body. It accepts both the
@@ -365,4 +392,38 @@ func (c *Client) Healthy(ctx context.Context) (bool, error) {
 	}
 	resp.Body.Close()
 	return true, nil
+}
+
+// Health fetches the server's admission snapshot (GET /healthz): state,
+// shard count, per-shard queue depths, and jobs in flight. Unlike Healthy
+// it returns the body on 503 too — a draining server answers with
+// state "draining". Servers predating the Health body yield a snapshot
+// with only State filled in, inferred from the status code.
+func (c *Client) Health(ctx context.Context) (serve.Health, error) {
+	var h serve.Health
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusServiceUnavailable:
+	default:
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		decodeEnvelope(resp.Body, apiErr)
+		return h, apiErr
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h)
+	if h.State == "" {
+		if resp.StatusCode == http.StatusOK {
+			h.State = "ok"
+		} else {
+			h.State = "draining"
+		}
+	}
+	return h, nil
 }

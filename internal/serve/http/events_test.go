@@ -410,33 +410,49 @@ func TestEventsJournalDisabled404(t *testing.T) {
 	}
 }
 
-// TestHealthzDrainStatusCodes pins the raw HTTP contract: 200 + JSON body
-// while admitting, 503 once draining.
+// TestHealthzDrainStatusCodes pins the raw HTTP contract: 200 + JSON
+// Health body while admitting, 503 + the same body shape once draining.
+// The body shape (state, shards, queue_depth, queues, inflight) is part of
+// the fleet health-gating contract — extend it, don't rename it.
 func TestHealthzDrainStatusCodes(t *testing.T) {
-	srv := serve.New(serve.Config{Shards: 1, Metrics: obs.NewRegistry()})
+	srv := serve.New(serve.Config{Shards: 3, Metrics: obs.NewRegistry()})
 	ts := httptest.NewServer(servehttp.NewHandler(srv))
 	t.Cleanup(ts.Close)
 
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	get := func() (int, map[string]json.RawMessage) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
 	}
-	var body map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		t.Fatal(err)
+
+	code, body := get()
+	if code != http.StatusOK || string(body["state"]) != `"ok"` {
+		t.Fatalf("healthz = %d %v, want 200 state ok", code, body)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
-		t.Fatalf("healthz = %d %v, want 200 ok", resp.StatusCode, body)
+	for _, key := range []string{"state", "shards", "queue_depth", "queues", "inflight"} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("healthz body missing %q: %v", key, body)
+		}
+	}
+	if string(body["shards"]) != "3" {
+		t.Fatalf("healthz shards = %s, want 3", body["shards"])
+	}
+	var queues []int
+	if err := json.Unmarshal(body["queues"], &queues); err != nil || len(queues) != 3 {
+		t.Fatalf("healthz queues = %s (err %v), want 3 entries", body["queues"], err)
 	}
 
 	srv.Drain(time.Second)
-	resp2, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", resp2.StatusCode)
+	code2, body2 := get()
+	if code2 != http.StatusServiceUnavailable || string(body2["state"]) != `"draining"` {
+		t.Fatalf("healthz while draining = %d %v, want 503 state draining", code2, body2)
 	}
 }

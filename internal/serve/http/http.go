@@ -20,7 +20,10 @@
 //	POST /jobs/{key}/cancel     request cancellation
 //	GET  /events                stream the journal as NDJSON or SSE
 //	GET  /scenarios             list the registered scenario presets
-//	GET  /healthz               200 while admitting, 503 while draining
+//	GET  /healthz               admission health: 200 while admitting, 503
+//	                            while draining, always with a JSON
+//	                            serve.Health body (state, shard count,
+//	                            per-shard queue depths, inflight)
 //
 // Every non-2xx response carries one JSON envelope:
 //
@@ -188,11 +191,15 @@ func NewHandler(s *serve.Server) http.Handler {
 		writeJSON(w, http.StatusOK, Scenarios())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.Draining() {
-			writeError(w, http.StatusServiceUnavailable, CodeDraining, serve.ErrDraining)
-			return
+		// Both status codes carry the same JSON Health body; the state
+		// field explains the code, and the queue numbers give health-gating
+		// clients (the fleet coordinator) and operators pressure signal.
+		h := s.Health()
+		code := http.StatusOK
+		if h.State != "ok" {
+			code = http.StatusServiceUnavailable
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, code, h)
 	})
 	return mux
 }

@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 
 	"cos"
 	"cos/internal/experiments"
+	"cos/internal/pool"
 	"cos/internal/scenario"
 	"cos/internal/wlan"
 )
@@ -37,6 +39,8 @@ func run(ctx context.Context, spec Spec, w io.Writer, agg *stageAgg, tc *traceCa
 		return runWLAN(ctx, spec, enc, agg, tc)
 	case KindFigure:
 		return runFigure(ctx, spec, enc)
+	case KindFigureTask:
+		return runFigureTask(ctx, spec, enc)
 	default:
 		// Validate rejected unknown kinds at admission; reaching here is a
 		// programming error, reported as a failed job rather than a panic.
@@ -407,4 +411,35 @@ func runFigure(ctx context.Context, spec Spec, enc *json.Encoder) error {
 		}
 	}
 	return nil
+}
+
+// TaskRecord is the single NDJSON record a figure_task job streams: the
+// point-task's serialized outcome, echoed with enough addressing (figure,
+// task index) for a coordinator to slot it into the assembly without
+// trusting response ordering. Exported because the fleet package decodes
+// result bodies back into records.
+type TaskRecord struct {
+	Type   string          `json:"type"` // "figure_task"
+	Figure string          `json:"figure"`
+	Task   int             `json:"task"`
+	Record json.RawMessage `json:"record"`
+}
+
+func runFigureTask(ctx context.Context, spec Spec, enc *json.Encoder) error {
+	ts, ok := experiments.Tasks(spec.Figure, spec.taskRunOptions())
+	if !ok {
+		// Validate rejected non-decomposable figures at admission.
+		return &ConfigError{Field: "figure", Reason: "figure " + spec.Figure + " does not decompose into point-tasks"}
+	}
+	if spec.Task < 0 || spec.Task >= ts.NumTasks() {
+		return &ConfigError{Field: "task", Reason: fmt.Sprintf("task %d outside [0,%d)", spec.Task, ts.NumTasks())}
+	}
+	// The task RNG is derived exactly as the in-process pool derives it
+	// (pool.TaskSeed(seed, i)), which is the whole determinism story: this
+	// record is byte-for-byte what the local closure would have computed.
+	rec, err := ts.RunTask(ctx, spec.Task, pool.TaskRNG(spec.Seed, spec.Task))
+	if err != nil {
+		return err
+	}
+	return enc.Encode(TaskRecord{Type: "figure_task", Figure: spec.Figure, Task: spec.Task, Record: rec})
 }

@@ -648,6 +648,41 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// Health is a point-in-time admission snapshot: what /healthz serves and
+// what fleet health-gating reads. State is "ok" while the server admits
+// jobs and "draining" once Drain has begun; the queue numbers let an
+// operator (or a coordinator choosing where to dispatch) see pressure
+// before it turns into 429s.
+type Health struct {
+	// State is "ok" or "draining"; it carries the 200/503 decision so the
+	// body alone is meaningful in logs.
+	State string `json:"state"`
+	// Shards is the worker-shard count (the maximum jobs in flight).
+	Shards int `json:"shards"`
+	// QueueDepth is the total of jobs admitted but not yet running;
+	// Queues breaks it down per shard in shard order.
+	QueueDepth int   `json:"queue_depth"`
+	Queues     []int `json:"queues"`
+	// Inflight is the number of jobs currently executing.
+	Inflight int `json:"inflight"`
+}
+
+// Health snapshots the server's admission state.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	h := Health{State: "ok", Shards: len(s.shards), Queues: make([]int, len(s.shards))}
+	if s.draining {
+		h.State = "draining"
+	}
+	for i, sh := range s.shards {
+		h.Queues[i] = len(sh)
+		h.QueueDepth += len(sh)
+	}
+	s.mu.Unlock()
+	h.Inflight = int(s.inflight.Value())
+	return h
+}
+
 // Drain shuts the server down gracefully: admission stops immediately
 // (Submit returns ErrDraining), queued and running jobs get up to window
 // to finish, and whatever is still in flight when the window closes is

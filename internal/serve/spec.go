@@ -34,6 +34,11 @@ const (
 	// KindFigure regenerates one named experiment figure via
 	// experiments.Run and streams its data points.
 	KindFigure Kind = "figure"
+	// KindFigureTask runs a single point-task of a decomposable figure
+	// (experiments.Tasks) and streams its one record. It is the unit the
+	// fleet coordinator fans out: every task has its own spec digest, so
+	// the content-addressed cache deduplicates across backends.
+	KindFigureTask Kind = "figure_task"
 )
 
 // Spec describes one simulation job. It doubles as the submit wire format
@@ -91,6 +96,12 @@ type Spec struct {
 	// Workers bounds the figure's point-task pool (default 1; figure
 	// output is bit-identical for any worker count).
 	Workers int `json:"workers,omitempty"`
+	// Task is the point-task index for figure_task jobs: which task of the
+	// figure's decomposition (experiments.Tasks under this spec's figure,
+	// scale, seed and scenario) this job runs. Valid only for figure_task;
+	// encoded canonically only for that kind, so every other kind keeps
+	// its pre-task digest.
+	Task int `json:"task,omitempty"`
 
 	// Scenario selects a registered world scenario by reference — "pulse",
 	// "hybrid-bscpec", "ofdm-padding:..." (see internal/scenario). Empty
@@ -226,6 +237,13 @@ func (s Spec) Canonical() ([]byte, error) {
 	if n.Scenario != "" {
 		fields["scenario"] = n.Scenario
 	}
+	// The task key exists only for figure_task jobs (the scenario-field
+	// precedent): every pre-existing kind keeps its v1 digest, and each
+	// point-task of a figure gets its own content address — which is what
+	// lets the result cache deduplicate tasks across a fleet.
+	if n.Kind == KindFigureTask {
+		fields["task"] = n.Task
+	}
 	b, err := json.Marshal(map[string]any{
 		"spec":        fields,
 		"spec_schema": SpecSchemaVersion,
@@ -309,14 +327,17 @@ func DecodeCanonical(data []byte) (Spec, error) {
 func (s Spec) Validate() error {
 	s = s.normalized()
 	switch s.Kind {
-	case KindLink, KindStream, KindWLAN, KindFigure:
+	case KindLink, KindStream, KindWLAN, KindFigure, KindFigureTask:
 	case "":
-		return fmt.Errorf("serve: spec missing kind (want link, stream, wlan or figure)")
+		return fmt.Errorf("serve: spec missing kind (want link, stream, wlan, figure or figure_task)")
 	default:
-		return fmt.Errorf("serve: unknown kind %q (want link, stream, wlan or figure)", s.Kind)
+		return fmt.Errorf("serve: unknown kind %q (want link, stream, wlan, figure or figure_task)", s.Kind)
 	}
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("serve: timeout_ms %d must be non-negative", s.TimeoutMS)
+	}
+	if s.Task != 0 && s.Kind != KindFigureTask {
+		return fmt.Errorf("serve: task is only valid for figure_task jobs (kind %q)", s.Kind)
 	}
 	if s.Scenario != "" {
 		if _, err := scenario.FromRef(s.Scenario); err != nil {
@@ -369,6 +390,27 @@ func (s Spec) Validate() error {
 		if s.Workers < 0 {
 			return fmt.Errorf("serve: workers %d must be non-negative", s.Workers)
 		}
+	case KindFigureTask:
+		if s.Figure == "" {
+			return fmt.Errorf("serve: figure_task job missing figure ID (task-decomposable: %v)", experiments.TaskIDs())
+		}
+		if s.Scale < 0 || s.Scale > 1 {
+			return fmt.Errorf("serve: scale %v outside (0,1]", s.Scale)
+		}
+		ts, ok := experiments.Tasks(s.Figure, s.taskRunOptions())
+		if !ok {
+			return fmt.Errorf("serve: figure %q does not decompose into point-tasks (task-decomposable: %v)", s.Figure, experiments.TaskIDs())
+		}
+		if n := ts.NumTasks(); s.Task < 0 || s.Task >= n {
+			return fmt.Errorf("serve: task %d outside [0,%d) for figure %q at scale %v", s.Task, n, s.Figure, s.Scale)
+		}
 	}
 	return nil
+}
+
+// taskRunOptions maps a normalized figure_task spec onto the RunOptions
+// that parameterize its figure's decomposition. Workers is pinned to 1:
+// one task is one unit of work, and the pool never sees it.
+func (s Spec) taskRunOptions() experiments.RunOptions {
+	return experiments.RunOptions{Scale: s.Scale, Seed: s.Seed, Workers: 1, Scenario: s.Scenario}
 }
